@@ -1,0 +1,26 @@
+"""Shared scale and printing helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (see DESIGN.md / EXPERIMENTS.md for the scaling notes) and
+prints the resulting rows so the numbers can be compared with the paper.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, format_table
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale used by the simulation-driven benchmarks."""
+    return ExperimentScale(single_core_records=6000, multicore_records=1500,
+                           num_cores=8, multicore_channels=4,
+                           mixes_per_category=1, benchmarks_per_class=2)
+
+
+def report(data):
+    """Print an experiment's result table."""
+    title = data.get("figure") or data.get("table") or data.get("section")
+    print()
+    print(format_table(f"{title}: {data.get('metric', '')}",
+                       data["columns"], data["rows"]))

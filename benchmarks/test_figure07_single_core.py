@@ -1,0 +1,14 @@
+"""Figure 7: single-core speedup over Base per intensity category."""
+
+from conftest import report
+
+from repro.experiments import figure7_single_core
+
+
+def test_figure7_single_core(benchmark, bench_scale):
+    data = benchmark.pedantic(figure7_single_core, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    report(data)
+    speedups = {(row[0], row[1]): row[2] for row in data["rows"]}
+    intensive_fast = speedups[("Memory Intensive", "FIGCache-Fast")]
+    assert intensive_fast > 1.0

@@ -1,0 +1,12 @@
+"""Figure 8: eight-core weighted speedup over Base per intensity mix."""
+
+from conftest import report
+
+from repro.experiments import figure8_multicore
+
+
+def test_figure8_multicore(benchmark, bench_scale):
+    data = benchmark.pedantic(figure8_multicore, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    report(data)
+    assert all(row[2] > 0 for row in data["rows"])

@@ -1,0 +1,12 @@
+"""Figure 9: in-DRAM cache hit rate of the caching mechanisms."""
+
+from conftest import report
+
+from repro.experiments import figure9_cache_hit_rate
+
+
+def test_figure9_cache_hit_rate(benchmark, bench_scale):
+    data = benchmark.pedantic(figure9_cache_hit_rate, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    report(data)
+    assert all(0.0 <= row[2] <= 1.0 for row in data["rows"])

@@ -1,0 +1,12 @@
+"""Figure 10: DRAM row-buffer hit rate of the caching mechanisms."""
+
+from conftest import report
+
+from repro.experiments import figure10_row_buffer_hit_rate
+
+
+def test_figure10_row_buffer_hit_rate(benchmark, bench_scale):
+    data = benchmark.pedantic(figure10_row_buffer_hit_rate,
+                              args=(bench_scale,), iterations=1, rounds=1)
+    report(data)
+    assert all(0.0 <= row[2] <= 1.0 for row in data["rows"])

@@ -1,0 +1,14 @@
+"""Figure 11: system energy breakdown normalised to Base."""
+
+from conftest import report
+
+from repro.experiments import figure11_energy
+
+
+def test_figure11_energy(benchmark, bench_scale):
+    data = benchmark.pedantic(figure11_energy, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    report(data)
+    totals = {(row[0], row[1]): row[-1] for row in data["rows"]}
+    base_rows = [key for key in totals if key[1] == "Base"]
+    assert all(abs(totals[key] - 1.0) < 1e-6 for key in base_rows)

@@ -1,0 +1,13 @@
+"""Figure 12: sensitivity to in-DRAM cache capacity (fast subarrays)."""
+
+from conftest import report
+
+from repro.experiments import figure12_cache_capacity
+
+
+def test_figure12_cache_capacity(benchmark, bench_scale):
+    data = benchmark.pedantic(
+        figure12_cache_capacity, args=(bench_scale,),
+        kwargs={"fast_subarray_counts": (1, 2, 4)}, iterations=1, rounds=1)
+    report(data)
+    assert any(row[1] == "LL-DRAM" for row in data["rows"])

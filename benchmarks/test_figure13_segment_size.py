@@ -1,0 +1,14 @@
+"""Figure 13: sensitivity to the row segment size."""
+
+from conftest import report
+
+from repro.experiments import figure13_segment_size
+
+
+def test_figure13_segment_size(benchmark, bench_scale):
+    data = benchmark.pedantic(
+        figure13_segment_size, args=(bench_scale,),
+        kwargs={"segment_sizes_blocks": (8, 16, 64, 128)},
+        iterations=1, rounds=1)
+    report(data)
+    assert any(row[1] == "1kB" for row in data["rows"])

@@ -1,0 +1,13 @@
+"""Figure 14: sensitivity to the in-DRAM cache replacement policy."""
+
+from conftest import report
+
+from repro.experiments import figure14_replacement_policy
+
+
+def test_figure14_replacement_policy(benchmark, bench_scale):
+    data = benchmark.pedantic(figure14_replacement_policy,
+                              args=(bench_scale,), iterations=1, rounds=1)
+    report(data)
+    policies = {row[1] for row in data["rows"]}
+    assert {"Random", "LRU", "SegmentBenefit", "RowBenefit"} <= policies

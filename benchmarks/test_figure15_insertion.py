@@ -1,0 +1,13 @@
+"""Figure 15: sensitivity to the row segment insertion threshold."""
+
+from conftest import report
+
+from repro.experiments import figure15_insertion_threshold
+
+
+def test_figure15_insertion_threshold(benchmark, bench_scale):
+    data = benchmark.pedantic(
+        figure15_insertion_threshold, args=(bench_scale,),
+        kwargs={"thresholds": (1, 2, 4)}, iterations=1, rounds=1)
+    report(data)
+    assert any(row[1] == "Threshold 1" for row in data["rows"])

@@ -1,0 +1,13 @@
+"""Section 4.2: the RELOC latency Monte-Carlo study."""
+
+from conftest import report
+
+from repro.experiments import section42_reloc_timing
+
+
+def test_section42_reloc_timing(benchmark):
+    data = benchmark(section42_reloc_timing, iterations=2000)
+    report(data)
+    values = dict((row[0], row[1]) for row in data["rows"])
+    assert abs(values["guardbanded RELOC latency (ns)"] - 1.0) < 1e-9
+    assert abs(values["end-to-end one-block relocation (ns)"] - 63.5) < 1.0

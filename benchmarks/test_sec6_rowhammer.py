@@ -1,0 +1,15 @@
+"""Sections 6 / 8.1: RowHammer-style activation-concentration study."""
+
+from conftest import report
+
+from repro.experiments import ExperimentScale, rowhammer_activation_study
+
+
+def test_rowhammer_activation_study(benchmark):
+    scale = ExperimentScale(single_core_records=4000)
+    data = benchmark.pedantic(rowhammer_activation_study, args=(scale,),
+                              kwargs={"benchmark": "lbm"},
+                              iterations=1, rounds=1)
+    report(data)
+    rows = {row[0]: row for row in data["rows"]}
+    assert rows["FIGCache-Fast"][1] <= rows["Base"][1]

@@ -1,0 +1,14 @@
+"""Section 8.3: hardware overhead accounting."""
+
+from conftest import report
+
+from repro.experiments import section83_overhead
+
+
+def test_section83_overhead(benchmark):
+    data = benchmark(section83_overhead)
+    report(data)
+    values = dict((row[0], row[1]) for row in data["rows"])
+    assert values["FTS storage per channel (kB)"] == 26.0
+    assert values["LISA-VILLA fast subarrays (% of DRAM chip)"] > \
+        values["FIGCache-Fast cache rows (% of DRAM chip)"]

@@ -1,0 +1,11 @@
+"""Table 1: the simulated system configuration."""
+
+from conftest import report
+
+from repro.experiments import table1_configuration
+
+
+def test_table1_configuration(benchmark):
+    data = benchmark(table1_configuration)
+    report(data)
+    assert len(data["rows"]) >= 5

@@ -1,0 +1,11 @@
+"""Table 2: the workload catalog and its measured intensity split."""
+
+from conftest import report
+
+from repro.experiments import table2_workloads
+
+
+def test_table2_workloads(benchmark):
+    data = benchmark(table2_workloads, records=3000)
+    report(data)
+    assert len(data["rows"]) == 20

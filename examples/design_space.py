@@ -1,0 +1,39 @@
+"""Design-space exploration of FIGCache parameters.
+
+Sweeps the row segment size and the replacement policy on a memory-intensive
+workload (the knobs studied in the paper's Figures 13 and 14) and prints the
+speedup over Base for each point, so a user can pick a configuration for
+their own workload mix.
+
+Run with:  python examples/design_space.py
+"""
+
+from repro.sim import make_system_config, run_workload
+from repro.workloads import get_benchmark
+
+
+def run(configuration: str, trace, **overrides) -> float:
+    config = make_system_config(configuration, channels=1, **overrides)
+    return run_workload(config, [trace], "design-space").cores[0].ipc
+
+
+def main() -> None:
+    trace = get_benchmark("com").make_trace(8000)
+    base_ipc = run("Base", trace)
+    print(f"Base IPC: {base_ipc:.3f}")
+
+    print("\nRow segment size sweep (FIGCache-Fast, paper Figure 13):")
+    for blocks in (8, 16, 32, 64, 128):
+        ipc = run("FIGCache-Fast", trace, segment_blocks=blocks)
+        size = blocks * 64
+        label = f"{size}B" if size < 1024 else f"{size // 1024}kB"
+        print(f"  segment {label:>5s}: speedup {ipc / base_ipc:.3f}")
+
+    print("\nReplacement policy sweep (FIGCache-Fast, paper Figure 14):")
+    for policy in ("Random", "LRU", "SegmentBenefit", "RowBenefit"):
+        ipc = run("FIGCache-Fast", trace, replacement_policy=policy)
+        print(f"  {policy:>14s}: speedup {ipc / base_ipc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

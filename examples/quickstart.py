@@ -1,0 +1,38 @@
+"""Quickstart: compare Base and FIGCache-Fast on one memory-intensive app.
+
+Builds a single-core DDR4 system, runs the ``lbm`` synthetic workload on the
+conventional Base configuration and on FIGCache-Fast, and prints the speedup
+plus the in-DRAM cache and row-buffer statistics the paper reports.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.sim import make_system_config, run_workload
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    benchmark = get_benchmark("lbm")
+    trace = benchmark.make_trace(10000)
+
+    base_config = make_system_config("Base", channels=1)
+    figcache_config = make_system_config("FIGCache-Fast", channels=1)
+
+    base = run_workload(base_config, [trace], "lbm")
+    figcache = run_workload(figcache_config, [trace], "lbm")
+
+    speedup = figcache.cores[0].ipc / base.cores[0].ipc
+    print(f"workload: lbm ({len(trace)} memory instructions)")
+    print(f"Base          IPC: {base.cores[0].ipc:.3f}  "
+          f"row-buffer hit rate: {base.row_buffer_hit_rate:.2%}")
+    print(f"FIGCache-Fast IPC: {figcache.cores[0].ipc:.3f}  "
+          f"row-buffer hit rate: {figcache.row_buffer_hit_rate:.2%}")
+    print(f"FIGCache-Fast in-DRAM cache hit rate: "
+          f"{figcache.in_dram_cache_hit_rate:.2%}")
+    print(f"speedup of FIGCache-Fast over Base: {speedup:.3f}x")
+    print(f"DRAM energy, FIGCache-Fast vs Base: "
+          f"{figcache.energy.dram_nj / base.energy.dram_nj:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

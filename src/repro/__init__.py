@@ -1,0 +1,24 @@
+"""repro: a reproduction of FIGARO / FIGCache (MICRO 2020).
+
+The package is organised as:
+
+* :mod:`repro.dram` -- DDR4 device/timing substrate, including the FIGARO
+  ``RELOC`` command.
+* :mod:`repro.controller` -- memory controller substrate (queues, FR-FCFS).
+* :mod:`repro.core` -- the paper's primary contribution: the FIGARO
+  relocation engine and the FIGCache fine-grained in-DRAM cache.
+* :mod:`repro.baselines` -- Base (no in-DRAM cache), LISA-VILLA, LL-DRAM.
+* :mod:`repro.cpu` -- trace-driven cores and the cache hierarchy.
+* :mod:`repro.workloads` -- synthetic workload/trace generators and the
+  benchmark catalog.
+* :mod:`repro.energy` -- DRAM and system energy models.
+* :mod:`repro.circuit` -- lumped-RC analysis of the RELOC operation.
+* :mod:`repro.analysis` -- hardware (area/power/storage) overhead models.
+* :mod:`repro.sim` -- system assembly, the event-driven simulation loop, and
+  result metrics.
+* :mod:`repro.experiments` -- one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

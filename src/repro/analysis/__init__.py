@@ -1,0 +1,17 @@
+"""Hardware overhead analysis (paper Section 8.3).
+
+Analytical accounting of the DRAM-side and controller-side costs of FIGARO,
+FIGCache, and LISA-VILLA: per-subarray multiplexers and latches, fast
+subarray area, FIGCache Tag Store (FTS) storage/area/power, and how they
+compare to the structures LISA-VILLA needs.
+"""
+
+from repro.analysis.overhead import (DRAMAreaOverhead, FTSOverhead,
+                                     OverheadModel, OverheadParams)
+
+__all__ = [
+    "DRAMAreaOverhead",
+    "FTSOverhead",
+    "OverheadModel",
+    "OverheadParams",
+]

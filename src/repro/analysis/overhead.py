@@ -1,0 +1,205 @@
+"""Analytical hardware-overhead model (paper Section 8.3).
+
+The paper's overhead numbers come from RTL synthesis of the added
+multiplexers/latches, area estimates of fast subarrays from prior work, and
+CACTI/McPAT for the FIGCache Tag Store.  This module reproduces the
+accounting with the per-component figures the paper reports as model inputs
+and recomputes every aggregate (chip-level percentages, FTS storage, FTS
+area/power relative to the LLC) from the simulated system configuration, so
+the experiments can check them against the paper's totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass(frozen=True)
+class OverheadParams:
+    """Per-component cost inputs (22 nm, from the paper's Section 8.3)."""
+
+    #: Area of the added per-subarray column-address multiplexer (um^2).
+    column_mux_area_um2: float = 4.7
+    #: Power of the column multiplexer (uW).
+    column_mux_power_uw: float = 2.1
+    #: Area of the added per-subarray row-address multiplexer (um^2).
+    row_mux_area_um2: float = 18.8
+    #: Power of the row multiplexer (uW).
+    row_mux_power_uw: float = 8.4
+    #: Area of the per-subarray 40-bit partially-predecoded row-address
+    #: latch (um^2).
+    row_latch_area_um2: float = 35.2
+    #: Power of the row-address latch (uW).
+    row_latch_power_uw: float = 19.1
+    #: Area of one slow subarray including its local row buffer (um^2).
+    #: Chosen so a 64-subarray x 16-bank chip lands at a realistic ~60 mm^2
+    #: cell-array area for an 8 Gb-class DDR4 die.
+    slow_subarray_area_um2: float = 58000.0
+    #: Fast subarray area relative to a slow subarray (paper: 22.6 %).
+    fast_subarray_area_fraction: float = 0.226
+    #: Fraction of the DRAM chip area occupied by the cell array.  The
+    #: paper's Section 8.3 expresses every overhead relative to the cell
+    #: array (e.g. two fast subarrays at 22.6 % of a slow subarray over 64
+    #: slow subarrays = 0.7 %), so the default is 1.0.
+    cell_array_area_fraction: float = 1.0
+    #: FTS area per kilobyte of storage (mm^2/kB at 22 nm, CACTI-class;
+    #: calibrated so 104 kB of FTS across four channels is ~0.5 mm^2).
+    fts_area_mm2_per_kb: float = 0.00477
+    #: FTS dynamic+leakage power per kilobyte (mW/kB; calibrated so the same
+    #: 104 kB consumes ~0.19 mW on average).
+    fts_power_mw_per_kb: float = 0.0018
+    #: Last-level cache area (mm^2) for the 16 MB LLC of the 8-core system.
+    llc_area_mm2: float = 34.4
+    #: Average last-level cache power (mW).
+    llc_power_mw: float = 267.0
+    #: DRAM activation power (mW), for putting the added logic in context.
+    activation_power_mw: float = 51.2
+
+
+@dataclass(frozen=True)
+class DRAMAreaOverhead:
+    """DRAM-side area overhead of one mechanism."""
+
+    mechanism: str
+    #: Added peripheral logic area per bank (um^2).
+    peripheral_area_um2_per_bank: float
+    #: Added subarray (cache row) area per bank (um^2).
+    cache_area_um2_per_bank: float
+    #: Total added area as a fraction of the DRAM chip.
+    chip_area_fraction: float
+    #: Added peripheral power per bank (uW).
+    peripheral_power_uw_per_bank: float
+
+
+@dataclass(frozen=True)
+class FTSOverhead:
+    """Memory-controller-side tag store overhead."""
+
+    #: Entries per bank.
+    entries_per_bank: int
+    #: Bits per entry (tag + valid + dirty + benefit).
+    bits_per_entry: int
+    #: Total storage per channel (kB).
+    storage_kb_per_channel: float
+    #: Total FTS area across all channels (mm^2).
+    area_mm2: float
+    #: FTS area as a fraction of the LLC area.
+    area_fraction_of_llc: float
+    #: Average FTS power (mW).
+    power_mw: float
+    #: FTS power as a fraction of LLC power.
+    power_fraction_of_llc: float
+
+
+class OverheadModel:
+    """Computes Section 8.3's hardware overheads from a configuration."""
+
+    def __init__(self, params: OverheadParams | None = None):
+        self._params = params or OverheadParams()
+
+    @property
+    def params(self) -> OverheadParams:
+        """Cost inputs in use."""
+        return self._params
+
+    # ------------------------------------------------------------------
+    # DRAM-side overheads.
+    # ------------------------------------------------------------------
+    def _chip_area_um2(self, config: DRAMConfig) -> float:
+        """Approximate DRAM chip area from the subarray count."""
+        params = self._params
+        cell_area = (config.banks_per_channel * config.subarrays_per_bank
+                     * params.slow_subarray_area_um2)
+        return cell_area / params.cell_array_area_fraction
+
+    def figaro_overhead(self, config: DRAMConfig) -> DRAMAreaOverhead:
+        """Overhead of the FIGARO substrate alone (MUXes and latches)."""
+        params = self._params
+        per_subarray = (params.column_mux_area_um2 + params.row_mux_area_um2
+                        + params.row_latch_area_um2)
+        per_subarray_power = (params.column_mux_power_uw
+                              + params.row_mux_power_uw
+                              + params.row_latch_power_uw)
+        subarrays = config.subarrays_per_bank + config.fast_subarrays_per_bank
+        peripheral = per_subarray * subarrays
+        power = per_subarray_power * subarrays
+        chip_fraction = (peripheral * config.banks_per_channel
+                         / self._chip_area_um2(config))
+        return DRAMAreaOverhead(mechanism="FIGARO",
+                                peripheral_area_um2_per_bank=peripheral,
+                                cache_area_um2_per_bank=0.0,
+                                chip_area_fraction=chip_fraction,
+                                peripheral_power_uw_per_bank=power)
+
+    def cache_row_overhead(self, config: DRAMConfig, mechanism: str,
+                           fast_subarrays: int,
+                           reserved_rows: int = 0) -> DRAMAreaOverhead:
+        """Overhead of the in-DRAM cache space itself.
+
+        ``fast_subarrays`` is the number of added fast subarrays per bank
+        (FIGCache-Fast: 2, LISA-VILLA: 16); ``reserved_rows`` accounts for
+        FIGCache-Slow, which reuses existing rows and therefore only costs
+        the capacity it reserves.
+        """
+        params = self._params
+        fast_area = (fast_subarrays * params.slow_subarray_area_um2
+                     * params.fast_subarray_area_fraction)
+        reserved_area = (reserved_rows / config.rows_per_subarray
+                         * params.slow_subarray_area_um2)
+        cache_area = fast_area + reserved_area
+        chip_fraction = (cache_area * config.banks_per_channel
+                         / self._chip_area_um2(config))
+        return DRAMAreaOverhead(mechanism=mechanism,
+                                peripheral_area_um2_per_bank=0.0,
+                                cache_area_um2_per_bank=cache_area,
+                                chip_area_fraction=chip_fraction,
+                                peripheral_power_uw_per_bank=0.0)
+
+    def mechanism_overheads(self, config: DRAMConfig) -> dict[str, float]:
+        """Chip-area fractions of every mechanism, keyed by name."""
+        figaro = self.figaro_overhead(config)
+        figcache_fast = self.cache_row_overhead(config, "FIGCache-Fast",
+                                                fast_subarrays=2)
+        figcache_slow = self.cache_row_overhead(config, "FIGCache-Slow",
+                                                fast_subarrays=0,
+                                                reserved_rows=64)
+        lisa_villa = self.cache_row_overhead(config, "LISA-VILLA",
+                                             fast_subarrays=16)
+        return {
+            "FIGARO": figaro.chip_area_fraction,
+            "FIGCache-Fast": figcache_fast.chip_area_fraction,
+            "FIGCache-Slow": figcache_slow.chip_area_fraction,
+            "LISA-VILLA": lisa_villa.chip_area_fraction,
+        }
+
+    # ------------------------------------------------------------------
+    # Controller-side (FTS) overhead.
+    # ------------------------------------------------------------------
+    def fts_overhead(self, config: DRAMConfig, cache_rows_per_bank: int = 64,
+                     segments_per_row: int = 8, benefit_bits: int = 5,
+                     num_channels: int = 4) -> FTSOverhead:
+        """FTS storage, area, and power for the given cache configuration."""
+        params = self._params
+        entries_per_bank = cache_rows_per_bank * segments_per_row
+        segment_count = config.regular_rows_per_bank * segments_per_row
+        # The paper sizes the tag for 256K segments per bank at 19 bits
+        # (bit_length of the count rather than of count - 1).
+        tag_bits = max(1, segment_count.bit_length())
+        bits_per_entry = tag_bits + benefit_bits + 2
+        storage_bits = (entries_per_bank * bits_per_entry
+                        * config.banks_per_channel)
+        storage_kb = storage_bits / 8.0 / 1024.0
+        total_kb = storage_kb * num_channels
+        area = total_kb * params.fts_area_mm2_per_kb
+        power = total_kb * params.fts_power_mw_per_kb
+        return FTSOverhead(
+            entries_per_bank=entries_per_bank,
+            bits_per_entry=bits_per_entry,
+            storage_kb_per_channel=storage_kb,
+            area_mm2=area,
+            area_fraction_of_llc=area / params.llc_area_mm2,
+            power_mw=power,
+            power_fraction_of_llc=power / params.llc_power_mw,
+        )

@@ -1,0 +1,19 @@
+"""Baseline memory-system configurations the paper compares against.
+
+* :class:`BaseMechanism` — a conventional DDR4 system with no in-DRAM cache.
+* :class:`LISAVillaMechanism` — the state-of-the-art in-DRAM cache baseline:
+  row-granularity caching in 16 fast subarrays per bank, with
+  distance-dependent bulk relocation between subarrays.
+* LL-DRAM — a system where every subarray is fast.  It needs no mechanism of
+  its own: it is :class:`BaseMechanism` on a DRAM configuration with
+  ``all_subarrays_fast=True`` (see :func:`repro.sim.config.make_system`).
+"""
+
+from repro.baselines.base import BaseMechanism
+from repro.baselines.lisa_villa import LISAVillaConfig, LISAVillaMechanism
+
+__all__ = [
+    "BaseMechanism",
+    "LISAVillaConfig",
+    "LISAVillaMechanism",
+]

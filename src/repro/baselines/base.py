@@ -1,0 +1,33 @@
+"""Base configuration: conventional DDR4 with no in-DRAM cache."""
+
+from __future__ import annotations
+
+from repro.core.mechanism import CachingMechanism, ServiceResult
+from repro.dram.address import DecodedAddress
+from repro.dram.channel import Channel
+
+
+class BaseMechanism(CachingMechanism):
+    """Serve every request from its original row; no caching, no relocation.
+
+    This is both the paper's *Base* configuration (on a DRAM device with no
+    fast subarrays) and its *LL-DRAM* configuration (on a DRAM device with
+    ``all_subarrays_fast=True``, where every access enjoys fast timings).
+    """
+
+    name = "Base"
+
+    def effective_row(self, channel: Channel, decoded: DecodedAddress,
+                      flat_bank: int) -> int:
+        return decoded.row
+
+    def service(self, channel: Channel, now: int, decoded: DecodedAddress,
+                flat_bank: int, is_write: bool) -> ServiceResult:
+        access = channel.access(now, flat_bank, decoded.row, is_write)
+        bank = channel.bank(flat_bank)
+        return ServiceResult(completion_cycle=access.completion_cycle,
+                             bank_busy_until=bank.ready_for_next,
+                             row_buffer_outcome=access.outcome,
+                             in_dram_cache_hit=None,
+                             served_fast=access.served_fast,
+                             relocation_cycles=0)

@@ -1,0 +1,25 @@
+"""Circuit-level analysis of the RELOC operation (paper Section 4.2).
+
+The paper determines the RELOC latency with SPICE simulations of the DRAM
+cell array (22 nm PTM transistor models, 10^8 Monte-Carlo iterations with a
+±5 % parameter margin).  SPICE and the proprietary device models are not
+available here, so this package substitutes a lumped-RC charge-sharing model
+of the structures RELOC exercises — the source local row buffer driving the
+global bitlines and global row buffer, which in turn drive the precharged
+destination bitlines and destination sense amplifiers — with the same
+Monte-Carlo variation methodology.  The outputs consumed by the rest of the
+system are the same as the paper's: a worst-case intrinsic RELOC latency
+(sub-nanosecond), a guardbanded timing parameter (1 ns), and the end-to-end
+per-block relocation latency (~63.5 ns).
+"""
+
+from repro.circuit.bitline import BitlineParams, ChargeSharingModel
+from repro.circuit.reloc_timing import (RelocTimingAnalysis,
+                                        analyze_reloc_timing)
+
+__all__ = [
+    "BitlineParams",
+    "ChargeSharingModel",
+    "RelocTimingAnalysis",
+    "analyze_reloc_timing",
+]

@@ -1,0 +1,151 @@
+"""Lumped-RC model of the RELOC charge-sharing and sensing path.
+
+The RELOC operation (paper Figure 5) connects a fully-driven source local
+row buffer (LRB) column to a precharged destination column through the
+global row buffer (GRB).  Three electrical phases determine its latency:
+
+1. charge sharing between the driven source bitlines and the precharged
+   destination bitlines through the global bitlines, which perturbs the
+   destination bitline voltage away from Vdd/2;
+2. the destination sense amplifier detecting the perturbation once it
+   exceeds its offset/sensing threshold; and
+3. the GRB (a high-gain, high-drive-strength amplifier) and the destination
+   sense amplifier restoring the destination bitlines to full rail.
+
+Each phase is modelled with first-order RC dynamics over lumped bitline
+capacitances and driver resistances.  The parameter values are representative
+of a 22 nm DRAM process; Monte-Carlo variation (±5 % on every parameter, as
+in the paper) produces the worst-case latency that the DRAM timing parameter
+must cover.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BitlineParams:
+    """Electrical parameters of the RELOC path (22 nm-class values)."""
+
+    #: Supply voltage (V).
+    vdd: float = 1.2
+    #: Local bitline capacitance (F) — long bitline, ~512 cells.
+    local_bitline_cap: float = 85e-15
+    #: Global bitline capacitance (F) — metal wire spanning the bank.
+    global_bitline_cap: float = 45e-15
+    #: Global row buffer (sense amplifier) input/output capacitance (F).
+    grb_cap: float = 10e-15
+    #: Effective resistance of the source LRB driver (ohms).
+    lrb_drive_resistance: float = 4.5e3
+    #: Effective resistance of the GRB driver (ohms) — higher drive strength
+    #: (lower resistance) than an LRB sense amplifier.
+    grb_drive_resistance: float = 1.7e3
+    #: Resistance of the global bitline wire (ohms).
+    global_bitline_resistance: float = 1.5e3
+    #: Destination sense amplifier offset: minimum differential voltage (V)
+    #: it must see before it can reliably start amplifying.
+    sense_threshold: float = 0.05
+    #: Fraction of Vdd the destination bitline must reach to be considered
+    #: fully restored (stable state that the destination ACTIVATE latches).
+    restore_level: float = 0.95
+
+    def perturbed(self, rng: random.Random, margin: float) -> "BitlineParams":
+        """Return a copy with every parameter varied uniformly by ±margin."""
+        def vary(value: float) -> float:
+            return value * (1.0 + rng.uniform(-margin, margin))
+
+        return replace(
+            self,
+            vdd=vary(self.vdd),
+            local_bitline_cap=vary(self.local_bitline_cap),
+            global_bitline_cap=vary(self.global_bitline_cap),
+            grb_cap=vary(self.grb_cap),
+            lrb_drive_resistance=vary(self.lrb_drive_resistance),
+            grb_drive_resistance=vary(self.grb_drive_resistance),
+            global_bitline_resistance=vary(self.global_bitline_resistance),
+            sense_threshold=vary(self.sense_threshold),
+            # The restore level is a design constant, not a device parameter.
+            restore_level=self.restore_level,
+        )
+
+
+@dataclass(frozen=True)
+class RelocPhases:
+    """Latency of each electrical phase of one RELOC, in nanoseconds."""
+
+    charge_sharing_ns: float
+    sensing_ns: float
+    restore_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Total intrinsic RELOC latency."""
+        return self.charge_sharing_ns + self.sensing_ns + self.restore_ns
+
+
+class ChargeSharingModel:
+    """First-order RC model of the RELOC data movement."""
+
+    def __init__(self, params: BitlineParams | None = None):
+        self._params = params or BitlineParams()
+
+    @property
+    def params(self) -> BitlineParams:
+        """Electrical parameters of the modelled path."""
+        return self._params
+
+    def simulate(self, params: BitlineParams | None = None) -> RelocPhases:
+        """Compute the phase latencies for one parameter set."""
+        p = params or self._params
+        half_vdd = p.vdd / 2.0
+
+        # Phase 1: charge sharing.  The source bitline (at Vdd) shares charge
+        # with the destination bitline (precharged to Vdd/2) through the
+        # global bitline.  The final shared voltage exceeds Vdd/2 because the
+        # source side is driven; the time constant is set by the series
+        # resistance of the path and the destination-side capacitance.
+        series_resistance = (p.lrb_drive_resistance
+                             + p.global_bitline_resistance)
+        shared_cap = p.global_bitline_cap + p.grb_cap + p.local_bitline_cap
+        tau_share = series_resistance * shared_cap
+        source_cap = p.local_bitline_cap
+        final_delta = (p.vdd - half_vdd) * source_cap / (source_cap
+                                                         + shared_cap)
+        if final_delta <= p.sense_threshold:
+            # The perturbation can never reach the sensing threshold: the
+            # relocation would fail.  Report an effectively infinite latency
+            # so that callers notice.
+            return RelocPhases(charge_sharing_ns=math.inf, sensing_ns=math.inf,
+                               restore_ns=math.inf)
+        # Time for the destination perturbation to cross the threshold:
+        # delta(t) = final_delta * (1 - exp(-t / tau)).
+        t_share = -tau_share * math.log(1.0 - p.sense_threshold / final_delta)
+
+        # Phase 2: sensing.  The destination sense amplifier and the GRB
+        # (with its stronger drive) amplify the perturbation from the
+        # threshold towards half swing.  Modelled as an RC charge through the
+        # GRB driver onto the destination bitline capacitance.
+        tau_sense = p.grb_drive_resistance * (p.local_bitline_cap + p.grb_cap)
+        t_sense = tau_sense * math.log(half_vdd / p.sense_threshold) * 0.5
+
+        # Phase 3: restore.  Drive the destination bitline from half swing to
+        # the restore level so the following ACTIVATE latches a stable value.
+        tau_restore = p.grb_drive_resistance * p.local_bitline_cap
+        t_restore = -tau_restore * math.log(1.0 - p.restore_level) * 0.25
+
+        to_ns = 1e9
+        return RelocPhases(charge_sharing_ns=t_share * to_ns,
+                           sensing_ns=t_sense * to_ns,
+                           restore_ns=t_restore * to_ns)
+
+    def monte_carlo(self, iterations: int, margin: float = 0.05,
+                    seed: int = 0) -> list[RelocPhases]:
+        """Run a Monte-Carlo sweep with ±``margin`` parameter variation."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        rng = random.Random(seed)
+        return [self.simulate(self._params.perturbed(rng, margin))
+                for _ in range(iterations)]

@@ -1,0 +1,213 @@
+"""Per-channel memory controller: queues, scheduling, and service.
+
+The :class:`ChannelController` owns one channel's read and write queues and
+decides, whenever a bank is (or becomes) free, which queued request to issue
+next using FR-FCFS.  The actual service — including any in-DRAM cache lookup
+and relocation — is delegated to the configured caching mechanism.
+
+The controller is event-driven.  Two entry points matter to the simulator:
+
+* :meth:`enqueue` — a new request arrives; returns any newly completed
+  requests (scheduling is attempted immediately).
+* :meth:`wake` — a previously busy bank may have become free; returns newly
+  completed requests.
+
+Both return completed requests rather than scheduling callbacks so that the
+surrounding simulator (``repro.sim``) can turn them into core wake-up events.
+"""
+
+from __future__ import annotations
+
+from repro.controller.request import MemoryRequest
+from repro.controller.scheduler import FRFCFSScheduler, SchedulerConfig
+from repro.core.mechanism import CachingMechanism
+from repro.dram.channel import Channel
+
+
+class ChannelController:
+    """Request queues and scheduling for one memory channel."""
+
+    def __init__(self, channel: Channel, mechanism: CachingMechanism,
+                 scheduler_config: SchedulerConfig | None = None):
+        self._channel = channel
+        self._mechanism = mechanism
+        self._scheduler = FRFCFSScheduler(scheduler_config)
+        self._read_queue: list[MemoryRequest] = []
+        self._write_queue: list[MemoryRequest] = []
+        self._drain_mode = False
+        #: Banks with work pending but currently busy, mapped to the cycle at
+        #: which they should be re-examined.
+        self._pending_wakeups: dict[int, int] = {}
+        #: Completed request statistics.
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.total_read_latency = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def channel(self) -> Channel:
+        """The DRAM channel driven by this controller."""
+        return self._channel
+
+    @property
+    def mechanism(self) -> CachingMechanism:
+        """The in-DRAM caching mechanism in use."""
+        return self._mechanism
+
+    @property
+    def read_queue_occupancy(self) -> int:
+        """Number of reads currently queued."""
+        return len(self._read_queue)
+
+    @property
+    def write_queue_occupancy(self) -> int:
+        """Number of writes currently queued."""
+        return len(self._write_queue)
+
+    @property
+    def scheduler_config(self) -> SchedulerConfig:
+        """Queueing/watermark configuration."""
+        return self._scheduler.config
+
+    def read_queue_full(self) -> bool:
+        """True when no more reads can be accepted."""
+        return len(self._read_queue) >= self._scheduler.config.read_queue_depth
+
+    def write_queue_full(self) -> bool:
+        """True when no more writes can be accepted."""
+        return (len(self._write_queue)
+                >= self._scheduler.config.write_queue_depth)
+
+    def has_pending_work(self) -> bool:
+        """True while any request is still queued."""
+        return bool(self._read_queue or self._write_queue)
+
+    def next_wakeup(self) -> int | None:
+        """Earliest cycle at which a busy bank with pending work frees up."""
+        if not self._pending_wakeups:
+            return None
+        return min(self._pending_wakeups.values())
+
+    def average_read_latency(self) -> float:
+        """Mean read latency (cycles) over completed reads."""
+        if self.completed_reads == 0:
+            return 0.0
+        return self.total_read_latency / self.completed_reads
+
+    # ------------------------------------------------------------------
+    # Event entry points.
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemoryRequest, now: int) -> list[MemoryRequest]:
+        """Accept a new request and try to schedule its bank immediately."""
+        if request.decoded is None or request.flat_bank < 0:
+            raise ValueError("request must be decoded before enqueueing")
+        queue = self._write_queue if request.is_write else self._read_queue
+        queue.append(request)
+        self._update_drain_mode()
+        return self._try_schedule_bank(request.flat_bank, now)
+
+    def wake(self, now: int) -> list[MemoryRequest]:
+        """Re-attempt scheduling on banks whose wake-up time has arrived."""
+        completed: list[MemoryRequest] = []
+        due = [bank for bank, cycle in self._pending_wakeups.items()
+               if cycle <= now]
+        for bank in due:
+            del self._pending_wakeups[bank]
+        for bank in due:
+            completed.extend(self._try_schedule_bank(bank, now))
+        return completed
+
+    def drain_all(self, now: int) -> tuple[int, list[MemoryRequest]]:
+        """Service every queued request, ignoring future arrivals.
+
+        Used at the end of a simulation to flush outstanding writes.  Returns
+        the cycle at which the last request finished and the completed
+        requests.
+        """
+        completed: list[MemoryRequest] = []
+        current = now
+        while self.has_pending_work():
+            progressed = False
+            banks = {req.flat_bank
+                     for req in self._read_queue + self._write_queue}
+            for bank in sorted(banks):
+                served = self._try_schedule_bank(bank, current,
+                                                 force_writes=True)
+                if served:
+                    progressed = True
+                    completed.extend(served)
+            if not progressed:
+                wake = self.next_wakeup()
+                current = wake if wake is not None else current + 1
+                self._pending_wakeups.clear()
+        last = max((req.completion_cycle for req in completed), default=now)
+        return last, completed
+
+    # ------------------------------------------------------------------
+    # Scheduling internals.
+    # ------------------------------------------------------------------
+    def _try_schedule_bank(self, flat_bank: int, now: int,
+                           force_writes: bool = False) -> list[MemoryRequest]:
+        """Issue as many requests as the bank allows starting at ``now``."""
+        completed: list[MemoryRequest] = []
+        while True:
+            bank = self._channel.bank(flat_bank)
+            ready_at = bank.ready_for_next
+            if ready_at > now:
+                self._note_wakeup(flat_bank, ready_at)
+                break
+            request = self._scheduler.pick(
+                self._channel, flat_bank, self._read_queue, self._write_queue,
+                drain_mode=self._drain_mode or force_writes,
+                row_of=self._effective_row)
+            if request is None:
+                break
+            self._dequeue(request)
+            self._service(request, now)
+            completed.append(request)
+            self._update_drain_mode()
+        return completed
+
+    def _effective_row(self, request: MemoryRequest) -> int:
+        return self._mechanism.effective_row(self._channel, request.decoded,
+                                             request.flat_bank)
+
+    def _service(self, request: MemoryRequest, now: int) -> None:
+        result = self._mechanism.service(self._channel, now, request.decoded,
+                                         request.flat_bank, request.is_write)
+        request.issue_cycle = now
+        request.completion_cycle = result.completion_cycle
+        request.in_dram_cache_hit = result.in_dram_cache_hit
+        request.row_buffer_outcome = result.row_buffer_outcome
+        request.served_fast = result.served_fast
+        if request.is_write:
+            self.completed_writes += 1
+        else:
+            self.completed_reads += 1
+            self.total_read_latency += request.latency
+
+    def _dequeue(self, request: MemoryRequest) -> None:
+        queue = self._write_queue if request.is_write else self._read_queue
+        queue.remove(request)
+
+    def _note_wakeup(self, flat_bank: int, cycle: int) -> None:
+        """Remember that ``flat_bank`` has pending work and frees at ``cycle``."""
+        has_work = any(req.flat_bank == flat_bank
+                       for req in self._read_queue) \
+            or any(req.flat_bank == flat_bank for req in self._write_queue)
+        if not has_work:
+            self._pending_wakeups.pop(flat_bank, None)
+            return
+        existing = self._pending_wakeups.get(flat_bank)
+        if existing is None or cycle < existing:
+            self._pending_wakeups[flat_bank] = cycle
+
+    def _update_drain_mode(self) -> None:
+        config = self._scheduler.config
+        occupancy = len(self._write_queue)
+        if not self._drain_mode and occupancy >= config.write_drain_high_watermark:
+            self._drain_mode = True
+        elif self._drain_mode and occupancy <= config.write_drain_low_watermark:
+            self._drain_mode = False

@@ -1,0 +1,99 @@
+"""Top-level memory controller spanning all channels.
+
+The :class:`MemoryController` routes each request to its channel's
+:class:`~repro.controller.channel_controller.ChannelController` using the
+address mapping, and aggregates completion statistics across channels.
+"""
+
+from __future__ import annotations
+
+from repro.controller.channel_controller import ChannelController
+from repro.controller.request import MemoryRequest
+from repro.controller.scheduler import SchedulerConfig
+from repro.core.mechanism import CachingMechanism
+from repro.dram.device import DRAMDevice
+
+
+class MemoryController:
+    """All per-channel controllers plus request routing."""
+
+    def __init__(self, device: DRAMDevice,
+                 mechanisms: list[CachingMechanism],
+                 scheduler_config: SchedulerConfig | None = None):
+        if len(mechanisms) != len(device.channels):
+            raise ValueError(
+                "one caching mechanism instance is required per channel "
+                f"(got {len(mechanisms)} for {len(device.channels)} channels)")
+        self._device = device
+        self.channel_controllers = [
+            ChannelController(channel, mechanism, scheduler_config)
+            for channel, mechanism in zip(device.channels, mechanisms)
+        ]
+
+    @property
+    def device(self) -> DRAMDevice:
+        """The DRAM device driven by this controller."""
+        return self._device
+
+    def route(self, request: MemoryRequest) -> ChannelController:
+        """Decode the request's address and return its channel controller."""
+        decoded = self._device.decode(request.address)
+        request.decoded = decoded
+        request.flat_bank = self._device.flat_bank(decoded)
+        return self.channel_controllers[decoded.channel]
+
+    def enqueue(self, request: MemoryRequest, now: int) -> list[MemoryRequest]:
+        """Route and enqueue a request; returns newly completed requests."""
+        controller = self.route(request)
+        return controller.enqueue(request, now)
+
+    def wake(self, now: int) -> list[MemoryRequest]:
+        """Give every channel a chance to issue requests at cycle ``now``."""
+        completed: list[MemoryRequest] = []
+        for controller in self.channel_controllers:
+            completed.extend(controller.wake(now))
+        return completed
+
+    def next_wakeup(self) -> int | None:
+        """Earliest wake-up cycle needed by any channel, or None."""
+        wakeups = [controller.next_wakeup()
+                   for controller in self.channel_controllers]
+        wakeups = [cycle for cycle in wakeups if cycle is not None]
+        return min(wakeups) if wakeups else None
+
+    def has_pending_work(self) -> bool:
+        """True while any channel still has queued requests."""
+        return any(controller.has_pending_work()
+                   for controller in self.channel_controllers)
+
+    def drain_all(self, now: int) -> int:
+        """Flush all queues; returns the cycle the last request finished."""
+        last = now
+        for controller in self.channel_controllers:
+            finished, _ = controller.drain_all(now)
+            last = max(last, finished)
+        return last
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics.
+    # ------------------------------------------------------------------
+    @property
+    def completed_reads(self) -> int:
+        """Reads completed across all channels."""
+        return sum(controller.completed_reads
+                   for controller in self.channel_controllers)
+
+    @property
+    def completed_writes(self) -> int:
+        """Writes completed across all channels."""
+        return sum(controller.completed_writes
+                   for controller in self.channel_controllers)
+
+    def average_read_latency(self) -> float:
+        """Mean read latency in cycles across all channels."""
+        total_latency = sum(controller.total_read_latency
+                            for controller in self.channel_controllers)
+        total_reads = self.completed_reads
+        if total_reads == 0:
+            return 0.0
+        return total_latency / total_reads

@@ -1,0 +1,59 @@
+"""Memory request representation."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dram.address import DecodedAddress
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """One cache-block request issued by a core (an LLC miss or writeback).
+
+    Timestamps are in simulator (CPU) cycles.  ``completion_cycle`` is filled
+    in by the memory controller when the request has been serviced.
+    """
+
+    #: Core that issued the request (writebacks keep the evicting core's id).
+    core_id: int
+    #: Physical byte address of the cache block.
+    address: int
+    #: True for writes (LLC writebacks), False for reads (demand misses).
+    is_write: bool
+    #: Cycle at which the request entered the memory controller.
+    arrival_cycle: int
+    #: Decoded DRAM coordinates (filled by the memory controller).
+    decoded: DecodedAddress | None = None
+    #: Flat bank index within the channel (filled by the memory controller).
+    flat_bank: int = -1
+    #: Cycle at which the request was picked by the scheduler.
+    issue_cycle: int = -1
+    #: Cycle at which the data transfer finished.
+    completion_cycle: int = -1
+    #: Whether the request hit in the in-DRAM cache (None when the configured
+    #: mechanism has no cache, e.g. the Base system).
+    in_dram_cache_hit: bool | None = None
+    #: Row-buffer outcome recorded when the request was serviced.
+    row_buffer_outcome: str = ""
+    #: True when the request was served from a fast (short-bitline) region.
+    served_fast: bool = False
+    #: Unique, monotonically increasing id (used for FCFS tie-breaking).
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def latency(self) -> int:
+        """Memory latency observed by the requester, in cycles."""
+        if self.completion_cycle < 0:
+            raise ValueError("request has not completed yet")
+        return self.completion_cycle - self.arrival_cycle
+
+    @property
+    def queueing_delay(self) -> int:
+        """Cycles spent waiting in the controller queues before issue."""
+        if self.issue_cycle < 0:
+            raise ValueError("request has not been issued yet")
+        return self.issue_cycle - self.arrival_cycle

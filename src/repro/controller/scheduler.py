@@ -1,0 +1,95 @@
+"""FR-FCFS request scheduling.
+
+FR-FCFS (first-ready, first-come-first-served) prefers requests that hit the
+currently open row of their bank (they are "first ready"), and falls back to
+the oldest request otherwise.  This is the scheduling policy used by the
+paper's baseline memory controller (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.request import MemoryRequest
+from repro.dram.channel import Channel
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduling and queueing parameters (paper Table 1 defaults)."""
+
+    #: Read queue capacity per channel.
+    read_queue_depth: int = 64
+    #: Write queue capacity per channel.
+    write_queue_depth: int = 64
+    #: Write-drain starts when the write queue reaches this occupancy.
+    write_drain_high_watermark: int = 48
+    #: Write-drain stops when the write queue falls to this occupancy.
+    write_drain_low_watermark: int = 16
+
+
+class FRFCFSScheduler:
+    """Selects the next request to issue for one bank of one channel."""
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self._config = config or SchedulerConfig()
+
+    @property
+    def config(self) -> SchedulerConfig:
+        """Queue and watermark configuration."""
+        return self._config
+
+    def pick(self, channel: Channel, flat_bank: int,
+             read_queue: list[MemoryRequest],
+             write_queue: list[MemoryRequest],
+             drain_mode: bool, row_of=None) -> MemoryRequest | None:
+        """Pick the next request to issue for ``flat_bank``.
+
+        Reads have priority over writes except during write drain.  Within a
+        class, requests that would hit the open row of the bank are preferred
+        (first-ready); ties are broken by arrival order (FCFS).
+
+        ``row_of`` maps a request to the DRAM row it would actually be served
+        from.  In-DRAM caching mechanisms redirect hot segments to cache
+        rows, so the effective row can differ from the row encoded in the
+        request's address; passing the mechanism's view here lets FR-FCFS
+        exploit open cache rows.  When omitted, the address row is used.
+        """
+        if row_of is None:
+            def row_of(req: MemoryRequest) -> int:
+                return req.decoded.row
+
+        bank_reads = [req for req in read_queue if req.flat_bank == flat_bank]
+        bank_writes = [req for req in write_queue if req.flat_bank == flat_bank]
+
+        if drain_mode:
+            choice = self._first_ready(channel, flat_bank, bank_writes, row_of)
+            if choice is None:
+                choice = self._first_ready(channel, flat_bank, bank_reads,
+                                           row_of)
+            return choice
+
+        choice = self._first_ready(channel, flat_bank, bank_reads, row_of)
+        if choice is not None:
+            return choice
+        # No reads pending for this bank: opportunistically issue writes once
+        # the write queue has accumulated a modest batch, so that write
+        # bandwidth is not starved outside of drain mode.
+        if len(write_queue) >= self._config.write_drain_low_watermark:
+            return self._first_ready(channel, flat_bank, bank_writes, row_of)
+        return None
+
+    @staticmethod
+    def _first_ready(channel: Channel, flat_bank: int,
+                     candidates: list[MemoryRequest],
+                     row_of) -> MemoryRequest | None:
+        """FR-FCFS selection among ``candidates`` for one bank."""
+        if not candidates:
+            return None
+        bank = channel.bank(flat_bank)
+        open_row = bank.open_row
+        if open_row is not None:
+            hits = [req for req in candidates if row_of(req) == open_row]
+            if hits:
+                return min(hits, key=lambda req: req.request_id)
+        return min(candidates, key=lambda req: req.request_id)

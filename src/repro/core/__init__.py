@@ -1,0 +1,49 @@
+"""The paper's primary contribution: FIGARO and FIGCache.
+
+* :mod:`repro.core.figaro` — the FIGARO relocation engine: column-granularity
+  (cache-block) data relocation across subarrays of a bank through the global
+  row buffer, with distance-independent latency.
+* :mod:`repro.core.tag_store` — the FIGCache Tag Store (FTS) kept in the
+  memory controller.
+* :mod:`repro.core.replacement` — cache replacement policies (RowBenefit,
+  SegmentBenefit, LRU, Random).
+* :mod:`repro.core.insertion` — row-segment insertion policies
+  (insert-any-miss, miss-count threshold).
+* :mod:`repro.core.figcache` — the FIGCache caching mechanism that ties the
+  pieces together and plugs into the memory controller.
+* :mod:`repro.core.mechanism` — the mechanism interface shared with the
+  baselines.
+"""
+
+from repro.core.figaro import FigaroEngine, RelocationRequest
+from repro.core.figcache import FIGCache, FIGCacheConfig
+from repro.core.insertion import (InsertAnyMissPolicy, InsertionPolicy,
+                                  MissCountThresholdPolicy)
+from repro.core.mechanism import (CachingMechanism, MechanismStats,
+                                  ServiceResult)
+from repro.core.replacement import (LRUReplacement, RandomReplacement,
+                                    ReplacementPolicy, RowBenefitReplacement,
+                                    SegmentBenefitReplacement,
+                                    make_replacement_policy)
+from repro.core.tag_store import FigTagStore, TagEntry
+
+__all__ = [
+    "CachingMechanism",
+    "FIGCache",
+    "FIGCacheConfig",
+    "FigTagStore",
+    "FigaroEngine",
+    "InsertAnyMissPolicy",
+    "InsertionPolicy",
+    "LRUReplacement",
+    "MechanismStats",
+    "MissCountThresholdPolicy",
+    "RandomReplacement",
+    "RelocationRequest",
+    "ReplacementPolicy",
+    "RowBenefitReplacement",
+    "SegmentBenefitReplacement",
+    "ServiceResult",
+    "TagEntry",
+    "make_replacement_policy",
+]

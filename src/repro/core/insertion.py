@@ -1,0 +1,88 @@
+"""Row-segment insertion policies.
+
+FIGCache uses a deliberately simple *insert-any-miss* policy (paper Section
+5.1): every in-DRAM cache miss triggers the relocation of the missed row
+segment into the cache.  The Figure 15 sensitivity study compares this
+against miss-count thresholds (insert only after N consecutive misses to the
+same segment), which need extra tracking state and, per the paper, do not
+help — a threshold of 1 performs best for memory-intensive workloads.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class InsertionPolicy(abc.ABC):
+    """Decides whether a missed row segment should be inserted into the cache."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def should_insert(self, source_row: int, source_segment: int) -> bool:
+        """Return True when the missed segment should be cached now."""
+
+    def notify_inserted(self, source_row: int, source_segment: int) -> None:
+        """Hook invoked after the segment was actually inserted."""
+
+    def notify_evicted(self, source_row: int, source_segment: int) -> None:
+        """Hook invoked after the segment was evicted from the cache."""
+
+
+class InsertAnyMissPolicy(InsertionPolicy):
+    """Insert every segment that misses (the paper's default, threshold 1)."""
+
+    name = "insert-any-miss"
+
+    def should_insert(self, source_row: int, source_segment: int) -> bool:
+        return True
+
+
+class MissCountThresholdPolicy(InsertionPolicy):
+    """Insert a segment only after it has missed ``threshold`` times.
+
+    The miss counters persist until the segment is inserted (then they are
+    cleared), mirroring the idealised assumption in the paper's Figure 15
+    that the additional tracking state adds no latency.  ``max_tracked``
+    bounds the tracking table so that pathological workloads cannot grow it
+    without limit; when full, the oldest tracked segment is dropped.
+    """
+
+    name = "miss-count-threshold"
+
+    def __init__(self, threshold: int, max_tracked: int = 65536):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self._max_tracked = max_tracked
+        self._miss_counts: dict[tuple[int, int], int] = {}
+
+    def should_insert(self, source_row: int, source_segment: int) -> bool:
+        if self.threshold == 1:
+            return True
+        key = (source_row, source_segment)
+        count = self._miss_counts.get(key, 0) + 1
+        if count >= self.threshold:
+            self._miss_counts.pop(key, None)
+            return True
+        if key not in self._miss_counts and \
+                len(self._miss_counts) >= self._max_tracked:
+            oldest = next(iter(self._miss_counts))
+            del self._miss_counts[oldest]
+        self._miss_counts[key] = count
+        return False
+
+    def notify_inserted(self, source_row: int, source_segment: int) -> None:
+        self._miss_counts.pop((source_row, source_segment), None)
+
+    @property
+    def tracked_segments(self) -> int:
+        """Number of segments currently tracked by the miss counters."""
+        return len(self._miss_counts)
+
+
+def make_insertion_policy(threshold: int = 1) -> InsertionPolicy:
+    """Create the insertion policy for a given miss-count threshold."""
+    if threshold == 1:
+        return InsertAnyMissPolicy()
+    return MissCountThresholdPolicy(threshold)

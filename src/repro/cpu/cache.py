@@ -1,0 +1,124 @@
+"""Set-associative cache model.
+
+A straightforward write-back, write-allocate, LRU cache used for the L1, L2,
+and last-level caches of the simulated cores.  Only hit/miss behaviour and
+dirty evictions are modelled — the data itself never exists, because the
+simulator only needs addresses and timing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    #: Total capacity in bytes.
+    size_bytes: int
+    #: Associativity (ways per set).
+    associativity: int
+    #: Cache block size in bytes.
+    block_size_bytes: int = 64
+    #: Access latency in CPU cycles charged on a hit at this level.
+    hit_latency_cycles: int = 0
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks the cache can hold."""
+        return self.size_bytes // self.block_size_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return max(1, self.num_blocks // self.associativity)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for impossible geometries."""
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache size and associativity must be positive")
+        if self.block_size_bytes <= 0 or \
+                self.block_size_bytes & (self.block_size_bytes - 1):
+            raise ValueError("block size must be a positive power of two")
+        if self.size_bytes % (self.associativity * self.block_size_bytes):
+            raise ValueError(
+                "cache size must be a multiple of associativity x block size")
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: Block-aligned address of a dirty block evicted by this access, if any.
+    writeback_address: int | None = None
+
+
+class SetAssociativeCache:
+    """Write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig):
+        config.validate()
+        self._config = config
+        self._offset_bits = config.block_size_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        # Each set is an OrderedDict mapping block tag -> dirty flag, ordered
+        # from least to most recently used.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def config(self) -> CacheConfig:
+        """Cache geometry and latency."""
+        return self._config
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        block = address >> self._offset_bits
+        return block % self._num_sets, block
+
+    def access(self, address: int, is_write: bool) -> CacheAccessResult:
+        """Look up (and on a miss, allocate) the block holding ``address``."""
+        set_index, block = self._locate(address)
+        cache_set = self._sets[set_index]
+        if block in cache_set:
+            self.hits += 1
+            dirty = cache_set.pop(block)
+            cache_set[block] = dirty or is_write
+            return CacheAccessResult(hit=True)
+
+        self.misses += 1
+        writeback: int | None = None
+        if len(cache_set) >= self._config.associativity:
+            victim_block, victim_dirty = cache_set.popitem(last=False)
+            if victim_dirty:
+                self.writebacks += 1
+                writeback = victim_block << self._offset_bits
+        cache_set[block] = is_write
+        return CacheAccessResult(hit=False, writeback_address=writeback)
+
+    def contains(self, address: int) -> bool:
+        """Return True when the block holding ``address`` is resident."""
+        set_index, block = self._locate(address)
+        return block in self._sets[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the block holding ``address``; returns True if it was dirty."""
+        set_index, block = self._locate(address)
+        return bool(self._sets[set_index].pop(block, False))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(cache_set) for cache_set in self._sets)

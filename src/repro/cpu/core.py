@@ -1,0 +1,263 @@
+"""Trace-driven core model.
+
+Each core replays a trace of :class:`~repro.workloads.trace.TraceRecord`
+entries.  A record describes a burst of non-memory instructions (``bubbles``)
+followed by one memory instruction.  The core model enforces the paper's
+Table 1 front-end constraints:
+
+* up to ``issue_width`` instructions issue per cycle;
+* at most ``window_size`` instructions may be in flight past the oldest
+  unresolved LLC load miss (the 256-entry instruction window);
+* at most ``mshr_entries`` cache-block misses may be outstanding at once.
+
+Cache hits are (mostly) hidden by out-of-order execution; only LLC misses
+interact with the memory system.  The model is event-driven: the simulator
+calls :meth:`TraceCore.run` to let the core issue work until it must stall
+or finishes, and :meth:`TraceCore.notify_completion` when one of its memory
+requests completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cpu.mshr import MSHRFile
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core front-end parameters (paper Table 1 defaults)."""
+
+    issue_width: int = 3
+    window_size: int = 256
+    mshr_entries: int = 8
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+
+@dataclass
+class CoreStats:
+    """Per-core statistics gathered during simulation."""
+
+    instructions: int = 0
+    memory_instructions: int = 0
+    llc_miss_loads: int = 0
+    llc_miss_stores: int = 0
+    writebacks: int = 0
+    stall_cycles_window: int = 0
+    stall_cycles_mshr: int = 0
+    finish_cycle: int = 0
+
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole run."""
+        if self.finish_cycle <= 0:
+            return 0.0
+        return self.instructions / self.finish_cycle
+
+
+@dataclass
+class _OutstandingMiss:
+    """A load miss the core is still waiting on."""
+
+    address: int
+    #: Instruction count (position in program order) at which it was issued.
+    instruction_position: int
+    #: True when the window cannot retire past this miss (demand loads).
+    blocks_window: bool
+
+
+@dataclass
+class IssuedRequest:
+    """A memory request the core wants to send, with its issue time."""
+
+    issue_cycle: int
+    address: int
+    is_write: bool
+
+
+@dataclass
+class CoreRunResult:
+    """Outcome of one :meth:`TraceCore.run` call."""
+
+    #: Memory requests issued during this run, in issue order.
+    requests: list[IssuedRequest]
+    #: True when the core has executed its entire trace.
+    finished: bool
+    #: True when the core stopped because it is waiting for a completion.
+    stalled: bool
+
+
+class TraceCore:
+    """One trace-driven core."""
+
+    def __init__(self, core_id: int, trace: list[TraceRecord],
+                 config: CoreConfig | None = None):
+        self.core_id = core_id
+        self._trace = trace
+        self._config = config or CoreConfig()
+        self.hierarchy = CacheHierarchy(self._config.hierarchy)
+        self.mshrs = MSHRFile(self._config.mshr_entries)
+        self.stats = CoreStats()
+        #: Core-local clock: the cycle up to which the core has issued work.
+        self._core_cycle = 0
+        #: Index of the next trace record to execute.
+        self._next_record = 0
+        #: Instructions issued so far (program-order position).
+        self._issued_instructions = 0
+        #: Outstanding LLC load misses, in program order.
+        self._outstanding: list[_OutstandingMiss] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> CoreConfig:
+        """Core front-end configuration."""
+        return self._config
+
+    @property
+    def finished(self) -> bool:
+        """True when the whole trace has been executed."""
+        return self._finished
+
+    @property
+    def core_cycle(self) -> int:
+        """The core's local clock (cycles of issued work)."""
+        return self._core_cycle
+
+    @property
+    def outstanding_misses(self) -> int:
+        """Number of LLC load misses still waiting for data."""
+        return len(self._outstanding)
+
+    @property
+    def trace_length(self) -> int:
+        """Number of records in the core's trace."""
+        return len(self._trace)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self, now: int) -> CoreRunResult:
+        """Issue work starting at cycle ``now`` until a stall or completion.
+
+        The returned requests carry their own issue cycles (all >= ``now``);
+        the caller is responsible for delivering them to the memory
+        controller at those times and for calling :meth:`notify_completion`
+        when each read completes.
+        """
+        if self._finished:
+            return CoreRunResult(requests=[], finished=True, stalled=False)
+        self._core_cycle = max(self._core_cycle, now)
+        requests: list[IssuedRequest] = []
+
+        while self._next_record < len(self._trace):
+            stall_reason = self._stall_reason()
+            if stall_reason is not None:
+                return CoreRunResult(requests=requests, finished=False,
+                                     stalled=True)
+            record = self._trace[self._next_record]
+            self._next_record += 1
+            self._execute_record(record, requests)
+
+        if not self._outstanding:
+            self._retire()
+            return CoreRunResult(requests=requests, finished=True,
+                                 stalled=False)
+        return CoreRunResult(requests=requests, finished=False, stalled=True)
+
+    def notify_completion(self, address: int, completion_cycle: int) -> bool:
+        """A read request issued by this core completed.
+
+        Returns True when the core can now make progress (the caller should
+        schedule a :meth:`run` at ``completion_cycle``).  The core's clock is
+        only advanced when this completion is what the core was waiting for;
+        a younger miss returning early does not release an older window
+        stall.
+        """
+        block_mask = ~(self.hierarchy.l1.config.block_size_bytes - 1)
+        block = address & block_mask
+        matched = [miss for miss in self._outstanding
+                   if (miss.address & block_mask) == block]
+        if not matched:
+            return False
+        stalled_before = self._stall_reason() is not None
+        for miss in matched:
+            self._outstanding.remove(miss)
+        self.mshrs.release(address)
+
+        can_progress = self._stall_reason() is None
+        if can_progress and completion_cycle > self._core_cycle:
+            # The core could not issue past this point until the data came
+            # back; charge the wait as stall time and advance the clock.
+            stall = completion_cycle - self._core_cycle
+            if stalled_before and self.mshrs.occupancy + 1 >= self.mshrs.capacity:
+                self.stats.stall_cycles_mshr += stall
+            else:
+                self.stats.stall_cycles_window += stall
+            self._core_cycle = completion_cycle
+        if self._next_record >= len(self._trace) and not self._outstanding:
+            self._retire()
+        return can_progress and not self._finished
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _stall_reason(self) -> str | None:
+        """Why the core cannot issue the next record right now, if at all."""
+        if self.mshrs.is_full():
+            return "mshr"
+        if self._outstanding:
+            oldest = self._outstanding[0]
+            in_flight = self._issued_instructions - oldest.instruction_position
+            if oldest.blocks_window and in_flight >= self._config.window_size:
+                return "window"
+        return None
+
+    def _execute_record(self, record: TraceRecord,
+                        requests: list[IssuedRequest]) -> None:
+        """Issue one trace record: its bubbles plus its memory instruction."""
+        issue_cycles = (record.bubbles + 1 + self._config.issue_width - 1) \
+            // self._config.issue_width
+        self._core_cycle += max(issue_cycles, 1)
+        self._issued_instructions += record.bubbles + 1
+        self.stats.instructions += record.bubbles + 1
+        self.stats.memory_instructions += 1
+
+        access = self.hierarchy.access(record.address, record.is_write)
+        self._core_cycle += access.exposed_latency
+
+        for writeback_address in access.writebacks:
+            self.stats.writebacks += 1
+            requests.append(IssuedRequest(issue_cycle=self._core_cycle,
+                                          address=writeback_address,
+                                          is_write=True))
+        if not access.needs_memory:
+            return
+
+        new_entry = self.mshrs.allocate(record.address)
+        if record.is_write:
+            self.stats.llc_miss_stores += 1
+        else:
+            self.stats.llc_miss_loads += 1
+        if new_entry:
+            requests.append(IssuedRequest(issue_cycle=self._core_cycle,
+                                          address=record.address,
+                                          is_write=False))
+            self._outstanding.append(_OutstandingMiss(
+                address=record.address,
+                instruction_position=self._issued_instructions,
+                blocks_window=not record.is_write))
+        elif not record.is_write:
+            # The miss merged into an existing MSHR; the load still blocks
+            # the window on the earlier request's completion.
+            self._outstanding.append(_OutstandingMiss(
+                address=record.address,
+                instruction_position=self._issued_instructions,
+                blocks_window=True))
+
+    def _retire(self) -> None:
+        self._finished = True
+        self.stats.finish_cycle = self._core_cycle

@@ -1,0 +1,141 @@
+"""Per-core cache hierarchy (L1 / L2 / LLC).
+
+The hierarchy filters the core's memory instructions: only LLC misses and
+dirty LLC writebacks reach the memory controller.  Latency at each level is
+charged to the core as a (small) exposed hit cost; out-of-order execution is
+assumed to hide the rest, which is the usual first-order approximation for
+trace-driven memory-system studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.cache import CacheConfig, SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache hierarchy configuration.
+
+    The paper's Table 1 uses a 64 kB 4-way L1, a 256 kB 8-way L2, and a
+    2 MB/core 16-way LLC.  The reproduction's default scales each level down
+    (the synthetic traces are correspondingly smaller than the paper's
+    billion-instruction traces); the paper-sized hierarchy is available via
+    :meth:`paper_table1`.
+    """
+
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=16 * 1024, associativity=4, hit_latency_cycles=0))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, associativity=8, hit_latency_cycles=3))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=256 * 1024, associativity=16, hit_latency_cycles=8))
+
+    @classmethod
+    def paper_table1(cls) -> "HierarchyConfig":
+        """The paper's full-size per-core hierarchy."""
+        return cls(
+            l1=CacheConfig(size_bytes=64 * 1024, associativity=4,
+                           hit_latency_cycles=0),
+            l2=CacheConfig(size_bytes=256 * 1024, associativity=8,
+                           hit_latency_cycles=3),
+            llc=CacheConfig(size_bytes=2 * 1024 * 1024, associativity=16,
+                            hit_latency_cycles=8),
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Outcome of pushing one memory instruction through the hierarchy."""
+
+    #: Level that served the access: ``L1``, ``L2``, ``LLC``, or ``memory``.
+    level: str
+    #: Exposed latency charged to the core for cache hits (cycles).
+    exposed_latency: int
+    #: True when a request must be sent to the memory controller.
+    needs_memory: bool
+    #: Block-aligned addresses of dirty LLC blocks evicted by this access.
+    writebacks: tuple[int, ...] = ()
+
+
+class CacheHierarchy:
+    """Three-level private cache hierarchy for one core."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self._config = config or HierarchyConfig()
+        self.l1 = SetAssociativeCache(self._config.l1)
+        self.l2 = SetAssociativeCache(self._config.l2)
+        self.llc = SetAssociativeCache(self._config.llc)
+        self.accesses = 0
+        self.llc_misses = 0
+
+    @property
+    def config(self) -> HierarchyConfig:
+        """The hierarchy configuration."""
+        return self._config
+
+    def access(self, address: int, is_write: bool) -> HierarchyAccess:
+        """Push one memory instruction through L1, L2, and the LLC."""
+        self.accesses += 1
+        config = self._config
+
+        l1_result = self.l1.access(address, is_write)
+        if l1_result.hit:
+            return HierarchyAccess(level="L1",
+                                   exposed_latency=config.l1.hit_latency_cycles,
+                                   needs_memory=False)
+
+        # L1 victim writebacks are absorbed by L2 (modelled as L2 writes).
+        writebacks: list[int] = []
+        if l1_result.writeback_address is not None:
+            self._fill_lower(self.l2, l1_result.writeback_address,
+                             dirty=True, writebacks=writebacks)
+
+        l2_result = self.l2.access(address, is_write)
+        if l2_result.hit:
+            return HierarchyAccess(level="L2",
+                                   exposed_latency=config.l2.hit_latency_cycles,
+                                   needs_memory=False)
+        if l2_result.writeback_address is not None:
+            self._fill_lower(self.llc, l2_result.writeback_address,
+                             dirty=True, writebacks=writebacks)
+
+        llc_result = self.llc.access(address, is_write)
+        if llc_result.writeback_address is not None:
+            writebacks.append(llc_result.writeback_address)
+        if llc_result.hit:
+            return HierarchyAccess(level="LLC",
+                                   exposed_latency=config.llc.hit_latency_cycles,
+                                   needs_memory=False,
+                                   writebacks=tuple(writebacks))
+
+        self.llc_misses += 1
+        return HierarchyAccess(level="memory",
+                               exposed_latency=config.llc.hit_latency_cycles,
+                               needs_memory=True,
+                               writebacks=tuple(writebacks))
+
+    def _fill_lower(self, cache: SetAssociativeCache, address: int,
+                    dirty: bool, writebacks: list[int]) -> None:
+        """Install a victim block into the next lower level."""
+        result = cache.access(address, dirty)
+        if result.writeback_address is not None:
+            if cache is self.l2:
+                self._fill_lower(self.llc, result.writeback_address,
+                                 dirty=True, writebacks=writebacks)
+            else:
+                writebacks.append(result.writeback_address)
+
+    @property
+    def llc_mpki_denominator(self) -> int:
+        """Total hierarchy accesses (used to sanity-check workload MPKI)."""
+        return self.accesses
+
+    def miss_rates(self) -> dict[str, float]:
+        """Hit/miss summary per level."""
+        return {
+            "L1": 1.0 - self.l1.hit_rate,
+            "L2": 1.0 - self.l2.hit_rate,
+            "LLC": 1.0 - self.llc.hit_rate,
+        }

@@ -1,0 +1,399 @@
+"""Bank state machine and timing model.
+
+A :class:`Bank` tracks the DRAM-side state that determines how long a memory
+request takes to service: which row (if any) is open in the bank's local row
+buffers, when the last ACTIVATE happened (tRAS), when the last column access
+happened (tCCD / tWR / tRTP / tWTR), and when the next ACTIVATE or PRECHARGE
+may be issued (tRP, tRC).
+
+The model is event-driven: :meth:`Bank.access` is called by the memory
+controller with the cycle at which it wants to start the access, and returns
+when the data transfer completes and which row-buffer outcome occurred.  The
+FIGARO relocation path is modelled by :meth:`Bank.relocate`, which occupies
+the bank for the ACT / RELOC xN / ACT / PRE sequence described in the paper's
+Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import Command
+from repro.dram.config import DRAMConfig
+from repro.dram.counters import CommandCounters
+from repro.dram.rank import Rank
+from repro.dram.timings import TimingSet
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one column access serviced by a bank."""
+
+    #: Cycle at which the first command of the access was issued.
+    issue_cycle: int
+    #: Cycle at which the data burst completes on the channel bus.
+    completion_cycle: int
+    #: Cycle at which the bank can accept the next request.
+    bank_ready_cycle: int
+    #: ``hit``, ``miss``, or ``conflict``.
+    outcome: str
+    #: True when the access was served from a fast (short-bitline) region.
+    served_fast: bool
+
+
+@dataclass(frozen=True)
+class RelocationResult:
+    """Outcome of relocating one row segment with FIGARO RELOC commands."""
+
+    #: Cycle at which the relocation sequence started.
+    start_cycle: int
+    #: Cycle at which the bank becomes available again.
+    completion_cycle: int
+    #: Number of RELOC commands issued (one per cache block).
+    reloc_commands: int
+    #: Number of ACTIVATE commands issued by the sequence.
+    activates: int
+    #: Number of PRECHARGE commands issued by the sequence.
+    precharges: int
+
+
+class Bank:
+    """Timing state for one DRAM bank (shared across the chips of a rank)."""
+
+    def __init__(self, config: DRAMConfig, rank: Rank, bank_key: tuple,
+                 counters: CommandCounters):
+        self._config = config
+        self._rank = rank
+        self._key = bank_key
+        self._counters = counters
+        self._slow = config.slow_timing_set()
+        self._fast = config.fast_timing_set()
+        #: Row currently latched in a local row buffer, or None if precharged.
+        self.open_row: int | None = None
+        #: Cycle of the most recent ACTIVATE (governs tRAS).
+        self._last_act = -(10 ** 9)
+        #: Earliest cycle at which the next ACTIVATE may be issued (tRP/tRC).
+        self._next_act_allowed = 0
+        #: Earliest cycle at which the next column command may be issued.
+        self._next_col_allowed = 0
+        #: Earliest cycle at which a PRECHARGE may be issued (tRAS/tWR/tRTP).
+        self._next_pre_allowed = 0
+        #: Cycle until which the bank is occupied by a multi-command sequence
+        #: such as a FIGARO relocation.
+        self._busy_until = 0
+
+    # ------------------------------------------------------------------
+    # Introspection helpers.
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple:
+        """Identifier tuple (rank, bankgroup, bank) used in statistics."""
+        return self._key
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle until which the bank is blocked by an ongoing sequence."""
+        return self._busy_until
+
+    @property
+    def ready_for_next(self) -> int:
+        """Earliest cycle at which another column command could be issued.
+
+        Used by the memory controller to decide when to wake up and schedule
+        the next request for this bank.  Row hits to the open row can be
+        pipelined (tCCD apart), so this is typically earlier than the
+        completion of the previous data burst.
+        """
+        return max(self._busy_until, self._next_col_allowed)
+
+    def timing_for_row(self, row: int) -> TimingSet:
+        """Return the timing set that applies to ``row``."""
+        if self._config.is_fast_row(row):
+            return self._fast
+        return self._slow
+
+    def is_row_hit(self, row: int) -> bool:
+        """Would an access to ``row`` hit the open row right now?"""
+        return self.open_row == row
+
+    def is_open(self) -> bool:
+        """Return True when any row is currently open in this bank."""
+        return self.open_row is not None
+
+    def earliest_start(self, now: int, row: int) -> int:
+        """Earliest cycle an access to ``row`` could begin (for scheduling)."""
+        start = max(now, self._busy_until)
+        if self.open_row == row:
+            return max(start, self._next_col_allowed)
+        if self.open_row is None:
+            return max(start, self._next_act_allowed)
+        return max(start, self._next_pre_allowed)
+
+    # ------------------------------------------------------------------
+    # Demand accesses.
+    # ------------------------------------------------------------------
+    def access(self, now: int, row: int, is_write: bool,
+               bus_free_at: int) -> AccessResult:
+        """Service one column access to ``row`` starting no earlier than ``now``.
+
+        ``bus_free_at`` is the earliest cycle the channel data bus is free;
+        the returned :class:`AccessResult` reflects both bank and bus
+        constraints.  The caller (channel controller) is responsible for
+        advancing its own bus-free pointer to ``completion_cycle``.
+        """
+        timing = self.timing_for_row(row)
+        served_fast = self._config.is_fast_row(row)
+        start = max(now, self._busy_until)
+
+        if self.open_row == row:
+            outcome = "hit"
+            col_cycle = max(start, self._next_col_allowed)
+        elif self.open_row is None:
+            outcome = "miss"
+            col_cycle = self._activate(start, row, timing)
+        else:
+            outcome = "conflict"
+            pre_cycle = max(start, self._next_pre_allowed)
+            act_cycle = pre_cycle + self.timing_for_row(self.open_row).trp
+            self._counters.record_command(Command.PRECHARGE)
+            col_cycle = self._activate(act_cycle, row, timing,
+                                       already_constrained=True)
+
+        data_latency = timing.tcwl if is_write else timing.tcl
+        # The data burst must also wait for the shared channel bus.
+        burst_start = max(col_cycle + data_latency, bus_free_at)
+        col_cycle = burst_start - data_latency
+        completion = burst_start + timing.tbl
+
+        self._record_column(is_write, served_fast)
+        self._counters.record_outcome(outcome)
+        self._update_after_column(col_cycle, completion, is_write, timing)
+
+        return AccessResult(issue_cycle=start, completion_cycle=completion,
+                            bank_ready_cycle=self._next_col_allowed,
+                            outcome=outcome, served_fast=served_fast)
+
+    def precharge(self, now: int) -> int:
+        """Explicitly close the open row; returns the cycle the bank is idle."""
+        if self.open_row is None:
+            return now
+        timing = self.timing_for_row(self.open_row)
+        pre_cycle = max(now, self._next_pre_allowed, self._busy_until)
+        self._counters.record_command(Command.PRECHARGE)
+        self.open_row = None
+        self._next_act_allowed = max(self._next_act_allowed,
+                                     pre_cycle + timing.trp)
+        return pre_cycle + timing.trp
+
+    # ------------------------------------------------------------------
+    # FIGARO relocation.
+    # ------------------------------------------------------------------
+    def relocate(self, now: int, source_row: int, destination_row: int,
+                 num_blocks: int,
+                 keep_source_open: bool = False) -> RelocationResult:
+        """Relocate ``num_blocks`` columns from ``source_row`` to
+        ``destination_row`` using FIGARO RELOC commands.
+
+        Command sequence (paper Section 4.2): ACTIVATE source (skipped when
+        the source row is already open, which is the common case on a
+        FIGCache miss because the demand access just opened it), one RELOC
+        per cache block, ACTIVATE destination (overwrites only the columns
+        driven by the GRB), and a PRECHARGE.
+
+        ``keep_source_open`` models the subarray-level parallelism FIGARO
+        relies on: the destination row lives in a *different* subarray, so
+        activating and precharging it does not disturb the source subarray's
+        local row buffer.  When the source row was already open on entry and
+        ``keep_source_open`` is set, it remains open afterwards, so queued
+        row hits to the source row are not turned into row misses by the
+        relocation.  Otherwise the bank ends the sequence precharged.
+        """
+        if num_blocks <= 0:
+            raise ValueError("relocation needs at least one block")
+        if source_row == destination_row:
+            raise ValueError("source and destination rows must differ")
+        src_timing = self.timing_for_row(source_row)
+        dst_timing = self.timing_for_row(destination_row)
+
+        start = max(now, self._busy_until)
+        source_was_open = self.open_row == source_row
+        activates = 0
+        cycle = start
+        if self.open_row != source_row:
+            # Close whatever is open, then activate the source row.
+            if self.open_row is not None:
+                pre_cycle = max(cycle, self._next_pre_allowed)
+                cycle = pre_cycle + self.timing_for_row(self.open_row).trp
+                self._counters.record_command(Command.PRECHARGE)
+            cycle = max(cycle, self._next_act_allowed)
+            self._counters.record_command(Command.ACTIVATE,
+                                          fast=self._config.is_fast_row(source_row))
+            self._counters.record_row_activation(self._key, source_row)
+            activates += 1
+            # The source row must be fully restored (tRAS) before its local
+            # row buffer can drive the global row buffer for RELOC.
+            cycle = cycle + src_timing.tras
+        else:
+            # The source row is already open; RELOC may begin as soon as the
+            # restore completed and any outstanding column traffic drained.
+            cycle = max(cycle, self._last_act + src_timing.tras,
+                        self._next_col_allowed)
+
+        # One RELOC per cache block in the segment.
+        cycle += num_blocks * src_timing.treloc
+        for _ in range(num_blocks):
+            self._counters.record_command(Command.RELOC)
+
+        # ACTIVATE the destination row to latch the relocated columns into
+        # the destination cells, then PRECHARGE the bank.  The destination
+        # bitlines are already driven to stable values by the GRB, so the
+        # paper accounts tRCD (not a full tRAS) for this activation, giving
+        # the 63.5 ns end-to-end figure of Section 4.2.
+        self._counters.record_command(Command.ACTIVATE,
+                                      fast=self._config.is_fast_row(destination_row))
+        self._counters.record_row_activation(self._key, destination_row)
+        activates += 1
+        cycle += dst_timing.trcd
+        self._counters.record_command(Command.PRECHARGE)
+        cycle += dst_timing.trp
+
+        if keep_source_open and source_was_open:
+            # Only the destination subarray was activated and precharged; the
+            # source row stays latched in its own local row buffer.
+            self.open_row = source_row
+            self._busy_until = cycle
+            self._next_act_allowed = max(self._next_act_allowed, cycle)
+            self._next_col_allowed = max(self._next_col_allowed, cycle)
+            self._next_pre_allowed = max(self._next_pre_allowed, cycle)
+        else:
+            # The bank ends the sequence precharged.
+            self.open_row = None
+            self._busy_until = cycle
+            self._next_act_allowed = cycle
+            self._next_col_allowed = cycle
+            self._next_pre_allowed = cycle
+
+        return RelocationResult(start_cycle=start, completion_cycle=cycle,
+                                reloc_commands=num_blocks,
+                                activates=activates, precharges=1)
+
+    def bulk_row_relocate(self, now: int, source_row: int,
+                          destination_row: int, transfer_cycles: int,
+                          keep_source_open: bool = False) -> RelocationResult:
+        """Relocate an entire row with a bulk (non-FIGARO) mechanism.
+
+        Used to model LISA-VILLA style row-granularity relocation, whose
+        transfer time is distance dependent and is supplied by the caller as
+        ``transfer_cycles``.  The surrounding command sequence matches
+        :meth:`relocate`: open the source row (if needed), transfer, restore
+        into the destination row, and precharge.  ``keep_source_open``
+        behaves as in :meth:`relocate`.
+        """
+        if transfer_cycles < 0:
+            raise ValueError("transfer_cycles must be non-negative")
+        if source_row == destination_row:
+            raise ValueError("source and destination rows must differ")
+        src_timing = self.timing_for_row(source_row)
+        dst_timing = self.timing_for_row(destination_row)
+
+        start = max(now, self._busy_until)
+        source_was_open = self.open_row == source_row
+        activates = 0
+        precharges = 0
+        cycle = start
+        if self.open_row != source_row:
+            if self.open_row is not None:
+                pre_cycle = max(cycle, self._next_pre_allowed)
+                cycle = pre_cycle + self.timing_for_row(self.open_row).trp
+                self._counters.record_command(Command.PRECHARGE)
+                precharges += 1
+            cycle = max(cycle, self._next_act_allowed)
+            self._counters.record_command(
+                Command.ACTIVATE, fast=self._config.is_fast_row(source_row))
+            self._counters.record_row_activation(self._key, source_row)
+            activates += 1
+            cycle = cycle + src_timing.tras
+        else:
+            cycle = max(cycle, self._last_act + src_timing.tras,
+                        self._next_col_allowed)
+
+        cycle += transfer_cycles
+
+        # Same destination-activation accounting as :meth:`relocate`, so that
+        # LISA-style bulk relocation and FIGARO differ only in the transfer
+        # term (FIGARO: one RELOC per block; LISA: per-hop row-buffer moves).
+        self._counters.record_command(
+            Command.ACTIVATE, fast=self._config.is_fast_row(destination_row))
+        self._counters.record_row_activation(self._key, destination_row)
+        activates += 1
+        cycle += dst_timing.trcd
+        self._counters.record_command(Command.PRECHARGE)
+        precharges += 1
+        cycle += dst_timing.trp
+
+        if keep_source_open and source_was_open:
+            self.open_row = source_row
+            self._busy_until = cycle
+            self._next_act_allowed = max(self._next_act_allowed, cycle)
+            self._next_col_allowed = max(self._next_col_allowed, cycle)
+            self._next_pre_allowed = max(self._next_pre_allowed, cycle)
+        else:
+            self.open_row = None
+            self._busy_until = cycle
+            self._next_act_allowed = cycle
+            self._next_col_allowed = cycle
+            self._next_pre_allowed = cycle
+
+        return RelocationResult(start_cycle=start, completion_cycle=cycle,
+                                reloc_commands=0, activates=activates,
+                                precharges=precharges)
+
+    # ------------------------------------------------------------------
+    # Refresh support.
+    # ------------------------------------------------------------------
+    def force_precharge_for_refresh(self, cycle: int) -> None:
+        """Close the bank and block it until ``cycle`` (used by refresh)."""
+        self.open_row = None
+        self._busy_until = max(self._busy_until, cycle)
+        self._next_act_allowed = max(self._next_act_allowed, cycle)
+        self._next_col_allowed = max(self._next_col_allowed, cycle)
+        self._next_pre_allowed = max(self._next_pre_allowed, cycle)
+
+    # ------------------------------------------------------------------
+    # Internal helpers.
+    # ------------------------------------------------------------------
+    def _activate(self, earliest: int, row: int, timing: TimingSet,
+                  already_constrained: bool = False) -> int:
+        """Issue an ACTIVATE for ``row``; returns the earliest column cycle."""
+        act_cycle = earliest if already_constrained \
+            else max(earliest, self._next_act_allowed)
+        act_cycle = self._rank.constrain_activate(act_cycle)
+        self._rank.note_activate(act_cycle)
+        self._counters.record_command(Command.ACTIVATE,
+                                      fast=self._config.is_fast_row(row))
+        self._counters.record_row_activation(self._key, row)
+        self.open_row = row
+        self._last_act = act_cycle
+        # tRAS governs the earliest PRECHARGE after this ACTIVATE.
+        self._next_pre_allowed = act_cycle + timing.tras
+        return act_cycle + timing.trcd
+
+    def _record_column(self, is_write: bool, fast: bool) -> None:
+        command = Command.WRITE if is_write else Command.READ
+        self._counters.record_command(command, fast=fast)
+
+    def _update_after_column(self, col_cycle: int, completion: int,
+                             is_write: bool, timing: TimingSet) -> None:
+        self._next_col_allowed = max(self._next_col_allowed,
+                                     col_cycle + timing.tccd)
+        if is_write:
+            # Write recovery: the written data must reach the cells before a
+            # PRECHARGE; reads after writes pay the write-to-read turnaround.
+            self._next_pre_allowed = max(self._next_pre_allowed,
+                                         completion + timing.twr)
+            self._next_col_allowed = max(self._next_col_allowed,
+                                         completion + timing.twtr)
+        else:
+            self._next_pre_allowed = max(self._next_pre_allowed,
+                                         col_cycle + timing.trtp)
+        self._busy_until = max(self._busy_until, col_cycle)

@@ -1,0 +1,130 @@
+"""Channel model: banks, ranks, the shared data bus, and refresh.
+
+A :class:`Channel` owns the rank and bank timing state for one memory
+channel and exposes the operations the memory controller needs: servicing a
+column access, relocating a row segment, and applying refresh.
+"""
+
+from __future__ import annotations
+
+from repro.dram.bank import AccessResult, Bank, RelocationResult
+from repro.dram.config import DRAMConfig
+from repro.dram.counters import CommandCounters
+from repro.dram.rank import Rank
+
+
+class Channel:
+    """Timing state for one memory channel."""
+
+    def __init__(self, config: DRAMConfig, channel_id: int,
+                 refresh_enabled: bool = True,
+                 track_row_activations: bool = False):
+        self._config = config
+        self._id = channel_id
+        self.counters = CommandCounters(
+            track_row_activations=track_row_activations)
+        slow = config.slow_timing_set()
+        self._ranks = [Rank(slow, refresh_enabled=refresh_enabled)
+                       for _ in range(config.ranks_per_channel)]
+        self._banks: list[Bank] = []
+        for rank_id, rank in enumerate(self._ranks):
+            for bankgroup in range(config.bankgroups_per_rank):
+                for bank in range(config.banks_per_bankgroup):
+                    key = (channel_id, rank_id, bankgroup, bank)
+                    self._banks.append(Bank(config, rank, key, self.counters))
+        #: Earliest cycle the shared data bus is free.
+        self._bus_free_at = 0
+
+    # ------------------------------------------------------------------
+    # Topology accessors.
+    # ------------------------------------------------------------------
+    @property
+    def channel_id(self) -> int:
+        """Index of this channel in the memory system."""
+        return self._id
+
+    @property
+    def config(self) -> DRAMConfig:
+        """The DRAM configuration for this channel."""
+        return self._config
+
+    @property
+    def num_banks(self) -> int:
+        """Total number of banks in this channel."""
+        return len(self._banks)
+
+    def bank(self, flat_bank: int) -> Bank:
+        """Return the bank with the given flat index within the channel."""
+        return self._banks[flat_bank]
+
+    def banks(self) -> list[Bank]:
+        """All banks of this channel."""
+        return list(self._banks)
+
+    def rank_of_bank(self, flat_bank: int) -> Rank:
+        """Return the rank that owns the given flat bank index."""
+        rank_id = flat_bank // self._config.banks_per_rank
+        return self._ranks[rank_id]
+
+    @property
+    def bus_free_at(self) -> int:
+        """Earliest cycle at which the channel data bus is free."""
+        return self._bus_free_at
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+    def access(self, now: int, flat_bank: int, row: int,
+               is_write: bool) -> AccessResult:
+        """Service one column access, honouring refresh and bus occupancy."""
+        start = self._apply_refresh(now, flat_bank)
+        bank = self._banks[flat_bank]
+        result = bank.access(start, row, is_write, self._bus_free_at)
+        self._bus_free_at = result.completion_cycle
+        return result
+
+    def relocate(self, now: int, flat_bank: int, source_row: int,
+                 destination_row: int, num_blocks: int,
+                 keep_source_open: bool = False) -> RelocationResult:
+        """Relocate a row segment inside one bank using FIGARO."""
+        start = self._apply_refresh(now, flat_bank)
+        bank = self._banks[flat_bank]
+        return bank.relocate(start, source_row, destination_row, num_blocks,
+                             keep_source_open=keep_source_open)
+
+    def bulk_relocate(self, now: int, flat_bank: int, source_row: int,
+                      destination_row: int, transfer_cycles: int,
+                      keep_source_open: bool = False) -> RelocationResult:
+        """Relocate an entire row with a bulk (LISA-style) mechanism."""
+        start = self._apply_refresh(now, flat_bank)
+        bank = self._banks[flat_bank]
+        return bank.bulk_row_relocate(start, source_row, destination_row,
+                                      transfer_cycles,
+                                      keep_source_open=keep_source_open)
+
+    def earliest_start(self, now: int, flat_bank: int, row: int) -> int:
+        """Earliest cycle an access could start (used by the scheduler)."""
+        return self._banks[flat_bank].earliest_start(now, row)
+
+    # ------------------------------------------------------------------
+    # Refresh handling.
+    # ------------------------------------------------------------------
+    def _apply_refresh(self, now: int, flat_bank: int) -> int:
+        """Perform any due refreshes for the bank's rank; return the adjusted
+        earliest start cycle for a new operation."""
+        rank = self.rank_of_bank(flat_bank)
+        start = now
+        pending = rank.pending_refreshes(now)
+        if pending == 0:
+            return start
+        rank_id = flat_bank // self._config.banks_per_rank
+        first_bank = rank_id * self._config.banks_per_rank
+        rank_banks = self._banks[first_bank:first_bank
+                                 + self._config.banks_per_rank]
+        for _ in range(pending):
+            completion = rank.perform_refresh(start)
+            self.counters.refreshes += 1
+            for bank in rank_banks:
+                bank.force_precharge_for_refresh(completion)
+            start = completion
+        return start

@@ -1,0 +1,163 @@
+"""DRAM organization configuration.
+
+:class:`DRAMConfig` captures the organization side of the paper's Table 1:
+channels, ranks, bank groups, banks, subarrays, rows, and row/block sizes,
+plus the fast-subarray layout used by FIGCache-Fast, LISA-VILLA, and
+LL-DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timings import DRAMTimings, TimingSet, derive_fast_timings
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Organization and timing configuration for the simulated DRAM system.
+
+    The defaults reproduce the paper's Table 1: DDR4, 800 MHz bus, one rank,
+    4 bank groups with 4 banks each, 64 subarrays per bank, 512 rows per
+    subarray, 8 kB rows, 64 B cache blocks, and 4 GB per channel.
+    """
+
+    #: Number of independent memory channels (1 for single-core runs,
+    #: 4 for eight-core runs in the paper).
+    channels: int = 1
+    #: Ranks per channel.
+    ranks_per_channel: int = 1
+    #: Bank groups per rank.
+    bankgroups_per_rank: int = 4
+    #: Banks per bank group.
+    banks_per_bankgroup: int = 4
+    #: Regular (slow) subarrays per bank.
+    subarrays_per_bank: int = 64
+    #: Rows per regular subarray.
+    rows_per_subarray: int = 512
+    #: Row size in bytes (per rank; the paper uses 8 kB DDR4 rows).
+    row_size_bytes: int = 8192
+    #: Cache block (column across the rank) size in bytes.
+    block_size_bytes: int = 64
+    #: Number of extra fast subarrays appended to each bank (0 for plain
+    #: DDR4 and FIGCache-Slow, 2 for FIGCache-Fast, 16 for LISA-VILLA).
+    fast_subarrays_per_bank: int = 0
+    #: Rows per fast subarray (the paper uses 32-row fast subarrays).
+    rows_per_fast_subarray: int = 32
+    #: When true, every subarray uses fast timings (the LL-DRAM idealized
+    #: configuration).
+    all_subarrays_fast: bool = False
+    #: CPU clock frequency used as the simulator clock domain.
+    cpu_clock_ghz: float = 3.2
+    #: Regular (slow) subarray timing parameters.
+    timings: DRAMTimings = field(default_factory=DRAMTimings)
+
+    # ------------------------------------------------------------------
+    # Derived organization properties.
+    # ------------------------------------------------------------------
+    @property
+    def banks_per_rank(self) -> int:
+        """Total banks in one rank."""
+        return self.bankgroups_per_rank * self.banks_per_bankgroup
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Total banks in one channel."""
+        return self.banks_per_rank * self.ranks_per_channel
+
+    @property
+    def blocks_per_row(self) -> int:
+        """Cache blocks (rank-level columns) per DRAM row."""
+        return self.row_size_bytes // self.block_size_bytes
+
+    @property
+    def regular_rows_per_bank(self) -> int:
+        """Rows held in the regular (slow) subarrays of one bank."""
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def fast_rows_per_bank(self) -> int:
+        """Rows held in the appended fast subarrays of one bank."""
+        return self.fast_subarrays_per_bank * self.rows_per_fast_subarray
+
+    @property
+    def rows_per_bank(self) -> int:
+        """All rows in one bank, regular plus fast."""
+        return self.regular_rows_per_bank + self.fast_rows_per_bank
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        """Addressable (regular) capacity of one bank in bytes."""
+        return self.regular_rows_per_bank * self.row_size_bytes
+
+    @property
+    def channel_capacity_bytes(self) -> int:
+        """Addressable capacity of one channel in bytes."""
+        return self.bank_capacity_bytes * self.banks_per_channel
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Addressable capacity of the whole memory system in bytes."""
+        return self.channel_capacity_bytes * self.channels
+
+    # ------------------------------------------------------------------
+    # Timing sets.
+    # ------------------------------------------------------------------
+    def slow_timing_set(self) -> TimingSet:
+        """Cycle-domain timings for regular subarrays."""
+        return TimingSet.from_timings(self.timings, self.cpu_clock_ghz)
+
+    def fast_timing_set(self) -> TimingSet:
+        """Cycle-domain timings for fast (short-bitline) subarrays."""
+        return TimingSet.from_timings(derive_fast_timings(self.timings),
+                                      self.cpu_clock_ghz)
+
+    # ------------------------------------------------------------------
+    # Row / subarray helpers.
+    # ------------------------------------------------------------------
+    def subarray_of_row(self, row: int) -> int:
+        """Return the subarray index that holds ``row`` within a bank.
+
+        Regular rows occupy subarrays ``0 .. subarrays_per_bank - 1``; rows in
+        appended fast subarrays are numbered after all regular rows and map to
+        subarray indices ``subarrays_per_bank ..``.
+        """
+        if row < 0:
+            raise ValueError(f"row index must be non-negative, got {row}")
+        if row < self.regular_rows_per_bank:
+            return row // self.rows_per_subarray
+        fast_row = row - self.regular_rows_per_bank
+        if fast_row >= self.fast_rows_per_bank:
+            raise ValueError(
+                f"row {row} out of range for bank with "
+                f"{self.rows_per_bank} rows")
+        return self.subarrays_per_bank + fast_row // self.rows_per_fast_subarray
+
+    def is_fast_row(self, row: int) -> bool:
+        """Return True when ``row`` resides in a fast (short-bitline) region."""
+        if self.all_subarrays_fast:
+            return True
+        return row >= self.regular_rows_per_bank
+
+    def fast_region_row(self, index: int) -> int:
+        """Return the bank-level row id of the ``index``-th fast-region row."""
+        if index < 0 or index >= self.fast_rows_per_bank:
+            raise ValueError(
+                f"fast region row index {index} out of range "
+                f"(bank has {self.fast_rows_per_bank} fast rows)")
+        return self.regular_rows_per_bank + index
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for configurations that cannot be simulated."""
+        if self.channels <= 0:
+            raise ValueError("at least one channel is required")
+        if self.row_size_bytes % self.block_size_bytes != 0:
+            raise ValueError("row size must be a multiple of the block size")
+        if self.blocks_per_row & (self.blocks_per_row - 1):
+            raise ValueError("blocks per row must be a power of two")
+        for name in ("ranks_per_channel", "bankgroups_per_rank",
+                     "banks_per_bankgroup", "subarrays_per_bank",
+                     "rows_per_subarray"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")

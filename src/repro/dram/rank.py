@@ -1,0 +1,81 @@
+"""Rank-level timing state: inter-bank activation limits and refresh.
+
+A rank groups the chips that operate in lockstep.  Two rank-wide constraints
+matter to the architecture model:
+
+* tRRD / tFAW limit how quickly ACTIVATE commands may be issued across the
+  banks of one rank.
+* Periodic refresh (tREFI / tRFC) blocks the whole rank and closes all open
+  rows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.timings import TimingSet
+
+
+class Rank:
+    """Timing state shared by all banks of one rank."""
+
+    def __init__(self, timing: TimingSet, refresh_enabled: bool = True):
+        self._timing = timing
+        self._refresh_enabled = refresh_enabled
+        #: Issue cycles of the most recent ACTIVATEs (for tFAW).
+        self._recent_activates: deque[int] = deque(maxlen=4)
+        #: Cycle of the most recent ACTIVATE (for tRRD).
+        self._last_activate = -(10 ** 9)
+        #: Cycle at which the next refresh is due.
+        self._next_refresh_due = timing.trefi
+        #: Number of refreshes performed (for energy accounting).
+        self.refresh_count = 0
+
+    @property
+    def timing(self) -> TimingSet:
+        """Rank-level timing parameters (regular/slow timings)."""
+        return self._timing
+
+    # ------------------------------------------------------------------
+    # Activation pacing (tRRD / tFAW).
+    # ------------------------------------------------------------------
+    def constrain_activate(self, cycle: int) -> int:
+        """Return the earliest cycle an ACTIVATE may issue, given tRRD/tFAW."""
+        earliest = max(cycle, self._last_activate + self._timing.trrd)
+        if len(self._recent_activates) == 4:
+            oldest = self._recent_activates[0]
+            earliest = max(earliest, oldest + self._timing.tfaw)
+        return earliest
+
+    def note_activate(self, cycle: int) -> None:
+        """Record that an ACTIVATE was issued at ``cycle``."""
+        self._last_activate = cycle
+        self._recent_activates.append(cycle)
+
+    # ------------------------------------------------------------------
+    # Refresh.
+    # ------------------------------------------------------------------
+    def refresh_due(self, now: int) -> bool:
+        """Return True when a refresh should be performed at or before ``now``."""
+        return self._refresh_enabled and now >= self._next_refresh_due
+
+    def pending_refreshes(self, now: int) -> int:
+        """Number of refresh intervals elapsed but not yet serviced."""
+        if not self._refresh_enabled or now < self._next_refresh_due:
+            return 0
+        elapsed = now - self._next_refresh_due
+        return 1 + elapsed // self._timing.trefi
+
+    def perform_refresh(self, now: int) -> int:
+        """Perform one all-bank refresh starting at ``now``.
+
+        Returns the cycle at which the rank becomes available again.  The
+        caller must also call :meth:`Bank.force_precharge_for_refresh` on
+        every bank of the rank, because refresh closes all open rows.
+        """
+        if not self._refresh_enabled:
+            return now
+        completion = now + self._timing.trfc
+        self._next_refresh_due += self._timing.trefi
+        self.refresh_count += 1
+        return completion

@@ -1,0 +1,63 @@
+"""Subarray descriptor.
+
+A subarray is a two-dimensional tile of DRAM cells with its own local row
+buffer (LRB).  The timing behaviour that matters to the architecture model is
+whether the subarray is *fast* (short bitlines, used as in-DRAM cache space)
+or *slow* (regular bitline length), and which rows it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Subarray:
+    """Static description of one subarray within a bank."""
+
+    #: Index of the subarray within its bank.
+    index: int
+    #: First bank-level row id held by this subarray.
+    first_row: int
+    #: Number of rows in this subarray.
+    num_rows: int
+    #: True for short-bitline (fast) subarrays used as in-DRAM cache space.
+    is_fast: bool = False
+
+    @property
+    def last_row(self) -> int:
+        """Last bank-level row id held by this subarray (inclusive)."""
+        return self.first_row + self.num_rows - 1
+
+    def contains_row(self, row: int) -> bool:
+        """Return True when ``row`` falls inside this subarray."""
+        return self.first_row <= row <= self.last_row
+
+    def row_offset(self, row: int) -> int:
+        """Return the row's offset within this subarray."""
+        if not self.contains_row(row):
+            raise ValueError(
+                f"row {row} not in subarray {self.index} "
+                f"[{self.first_row}, {self.last_row}]")
+        return row - self.first_row
+
+
+def build_subarrays(num_slow: int, rows_per_slow: int,
+                    num_fast: int, rows_per_fast: int) -> list[Subarray]:
+    """Build the subarray list for one bank.
+
+    Regular (slow) subarrays come first and hold the addressable rows; fast
+    subarrays are appended after them and hold the in-DRAM cache rows used by
+    FIGCache-Fast and LISA-VILLA.
+    """
+    subarrays = []
+    row = 0
+    for index in range(num_slow):
+        subarrays.append(Subarray(index=index, first_row=row,
+                                  num_rows=rows_per_slow, is_fast=False))
+        row += rows_per_slow
+    for offset in range(num_fast):
+        subarrays.append(Subarray(index=num_slow + offset, first_row=row,
+                                  num_rows=rows_per_fast, is_fast=True))
+        row += rows_per_fast
+    return subarrays

@@ -1,0 +1,166 @@
+"""DDR4 timing parameters and conversion to simulator clock cycles.
+
+All architectural timing parameters are expressed in nanoseconds (the way
+DRAM datasheets and the paper express them) in :class:`DRAMTimings`, and are
+converted once into integer CPU-clock cycles in :class:`TimingSet`, which is
+what the bank and controller models consume.
+
+The fast-subarray timings used by FIGCache-Fast, LISA-VILLA, and LL-DRAM are
+derived by :func:`derive_fast_timings` using the reductions reported by the
+paper (Table 1): tRCD -45.5 %, tRP -38.2 %, tRAS -62.9 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+# Reductions for fast (short-bitline) subarrays, from the paper's Table 1,
+# which in turn takes them from the LISA-VILLA SPICE model.
+FAST_TRCD_REDUCTION = 0.455
+FAST_TRP_REDUCTION = 0.382
+FAST_TRAS_REDUCTION = 0.629
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DDR4 timing parameters in nanoseconds.
+
+    The defaults correspond to a DDR4-1600 device (800 MHz bus clock), the
+    configuration used in the paper's Table 1.
+    """
+
+    #: ACTIVATE to column command (row access strobe to CAS) delay.
+    trcd_ns: float = 13.75
+    #: PRECHARGE to ACTIVATE delay (row precharge time).
+    trp_ns: float = 13.75
+    #: ACTIVATE to PRECHARGE delay (row active/restore time).
+    tras_ns: float = 35.0
+    #: Column command to first data (CAS latency) for reads.
+    tcl_ns: float = 13.75
+    #: Column command to first data for writes (CAS write latency).
+    tcwl_ns: float = 12.5
+    #: Data burst duration (8-beat burst on a DDR bus).
+    tbl_ns: float = 5.0
+    #: Column command to column command (same bank group) delay.
+    tccd_ns: float = 5.0
+    #: Write recovery time (last write data to PRECHARGE).
+    twr_ns: float = 15.0
+    #: Write-to-read turnaround delay.
+    twtr_ns: float = 7.5
+    #: Read to PRECHARGE delay.
+    trtp_ns: float = 7.5
+    #: ACTIVATE to ACTIVATE delay across banks of the same rank.
+    trrd_ns: float = 6.25
+    #: Four-activate window.
+    tfaw_ns: float = 30.0
+    #: Refresh cycle time (all-bank refresh duration).
+    trfc_ns: float = 350.0
+    #: Average refresh interval.
+    trefi_ns: float = 7800.0
+    #: Latency of one FIGARO RELOC command (paper Section 4.2: 0.57 ns from
+    #: SPICE plus a 43 % guardband, rounded up to 1 ns).
+    treloc_ns: float = 1.0
+
+    def scaled(self, trcd_factor: float, trp_factor: float,
+               tras_factor: float) -> "DRAMTimings":
+        """Return a copy with row timings scaled by the given factors."""
+        return replace(
+            self,
+            trcd_ns=self.trcd_ns * trcd_factor,
+            trp_ns=self.trp_ns * trp_factor,
+            tras_ns=self.tras_ns * tras_factor,
+        )
+
+
+def derive_fast_timings(slow: DRAMTimings) -> DRAMTimings:
+    """Derive fast-subarray timings from regular (slow) subarray timings."""
+    return slow.scaled(
+        trcd_factor=1.0 - FAST_TRCD_REDUCTION,
+        trp_factor=1.0 - FAST_TRP_REDUCTION,
+        tras_factor=1.0 - FAST_TRAS_REDUCTION,
+    )
+
+
+def _to_cycles(ns: float, clock_ghz: float) -> int:
+    """Convert a duration in nanoseconds to integer clock cycles (ceiling).
+
+    Rounding up mirrors how a real memory controller must respect timing
+    parameters that do not fall on a clock edge.
+    """
+    cycles = ns * clock_ghz
+    whole = int(cycles)
+    if cycles - whole > 1e-9:
+        whole += 1
+    return max(whole, 0)
+
+
+@dataclass(frozen=True)
+class TimingSet:
+    """DRAM timing parameters converted to integer simulator clock cycles.
+
+    The simulator runs on the CPU clock (3.2 GHz in the paper's Table 1), so
+    one cycle is 0.3125 ns by default.
+    """
+
+    clock_ghz: float
+    trcd: int
+    trp: int
+    tras: int
+    tcl: int
+    tcwl: int
+    tbl: int
+    tccd: int
+    twr: int
+    twtr: int
+    trtp: int
+    trrd: int
+    tfaw: int
+    trfc: int
+    trefi: int
+    treloc: int
+
+    @classmethod
+    def from_timings(cls, timings: DRAMTimings,
+                     clock_ghz: float = 3.2) -> "TimingSet":
+        """Build a cycle-domain timing set from nanosecond parameters."""
+        return cls(
+            clock_ghz=clock_ghz,
+            trcd=_to_cycles(timings.trcd_ns, clock_ghz),
+            trp=_to_cycles(timings.trp_ns, clock_ghz),
+            tras=_to_cycles(timings.tras_ns, clock_ghz),
+            tcl=_to_cycles(timings.tcl_ns, clock_ghz),
+            tcwl=_to_cycles(timings.tcwl_ns, clock_ghz),
+            tbl=_to_cycles(timings.tbl_ns, clock_ghz),
+            tccd=_to_cycles(timings.tccd_ns, clock_ghz),
+            twr=_to_cycles(timings.twr_ns, clock_ghz),
+            twtr=_to_cycles(timings.twtr_ns, clock_ghz),
+            trtp=_to_cycles(timings.trtp_ns, clock_ghz),
+            trrd=_to_cycles(timings.trrd_ns, clock_ghz),
+            tfaw=_to_cycles(timings.tfaw_ns, clock_ghz),
+            trfc=_to_cycles(timings.trfc_ns, clock_ghz),
+            trefi=_to_cycles(timings.trefi_ns, clock_ghz),
+            treloc=_to_cycles(timings.treloc_ns, clock_ghz),
+        )
+
+    def cycles(self, ns: float) -> int:
+        """Convert an arbitrary nanosecond duration to cycles."""
+        return _to_cycles(ns, self.clock_ghz)
+
+    def ns(self, cycles: int) -> float:
+        """Convert cycles back to nanoseconds."""
+        return cycles / self.clock_ghz
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Latency of a column read to a closed row (ACT + CAS + burst)."""
+        return self.trcd + self.tcl + self.tbl
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Latency of a column read to an already-open row."""
+        return self.tcl + self.tbl
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Latency of a column read that must first close another row."""
+        return self.trp + self.trcd + self.tcl + self.tbl

@@ -1,0 +1,25 @@
+"""Energy models.
+
+The paper evaluates system energy with DRAMPower (DRAM), McPAT (cores),
+CACTI (caches), and Orion (interconnect).  This package provides equivalent
+command-counting and activity-based models:
+
+* :mod:`repro.energy.dram_power` — per-command DRAM energy (ACT/PRE, RD, WR,
+  RELOC, refresh) plus background power, with separate parameters for fast
+  (short-bitline) regions.
+* :mod:`repro.energy.system_energy` — CPU core, cache, and off-chip
+  interconnect energy, and the system-level breakdown used by Figure 11.
+"""
+
+from repro.energy.dram_power import DRAMEnergyModel, DRAMEnergyParams
+from repro.energy.system_energy import (SystemEnergyBreakdown,
+                                         SystemEnergyModel,
+                                         SystemEnergyParams)
+
+__all__ = [
+    "DRAMEnergyModel",
+    "DRAMEnergyParams",
+    "SystemEnergyBreakdown",
+    "SystemEnergyModel",
+    "SystemEnergyParams",
+]

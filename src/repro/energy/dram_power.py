@@ -1,0 +1,116 @@
+"""DRAM energy model.
+
+A command-counting model in the spirit of DRAMPower / the Micron power
+calculator: every ACTIVATE+PRECHARGE pair, READ, WRITE, RELOC, and REFRESH
+has a fixed energy cost, and background power accrues with elapsed time.
+Accesses to fast (short-bitline) regions use scaled row energies, because a
+fast subarray moves charge over much shorter bitlines.
+
+The absolute values are representative DDR4 numbers (per rank of x8 chips);
+the experiments only use relative energies, so the exact calibration does
+not affect the reproduced trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.counters import CommandCounters
+
+
+@dataclass(frozen=True)
+class DRAMEnergyParams:
+    """Per-command energies (nanojoules) and background power (milliwatts)."""
+
+    #: Energy of one ACTIVATE + PRECHARGE pair on a regular (slow) row.
+    act_pre_nj: float = 20.0
+    #: Additional scaling for ACT/PRE on fast (short-bitline) rows.
+    fast_act_pre_scale: float = 0.45
+    #: Energy of one column READ (64 B across the rank, incl. I/O).
+    read_nj: float = 10.5
+    #: Energy of one column WRITE.
+    write_nj: float = 11.5
+    #: Energy of one FIGARO RELOC (internal column transfer, no I/O).  The
+    #: paper estimates 0.03 uJ for a full one-block relocation sequence; the
+    #: RELOC command itself moves data only over the global bitlines.
+    reloc_nj: float = 1.2
+    #: Energy of one all-bank refresh.
+    refresh_nj: float = 160.0
+    #: Background (standby + peripheral) power per channel, in milliwatts.
+    background_mw: float = 180.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on non-physical parameters."""
+        for name in ("act_pre_nj", "read_nj", "write_nj", "reloc_nj",
+                     "refresh_nj", "background_mw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0 < self.fast_act_pre_scale <= 1.0:
+            raise ValueError("fast_act_pre_scale must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DRAMEnergyBreakdown:
+    """DRAM energy split by source, in nanojoules."""
+
+    activation_nj: float
+    read_nj: float
+    write_nj: float
+    reloc_nj: float
+    refresh_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        """Total DRAM energy."""
+        return (self.activation_nj + self.read_nj + self.write_nj
+                + self.reloc_nj + self.refresh_nj + self.background_nj)
+
+
+class DRAMEnergyModel:
+    """Computes DRAM energy from command counters and elapsed time."""
+
+    def __init__(self, params: DRAMEnergyParams | None = None):
+        self._params = params or DRAMEnergyParams()
+        self._params.validate()
+
+    @property
+    def params(self) -> DRAMEnergyParams:
+        """The energy parameters in use."""
+        return self._params
+
+    def energy(self, counters: CommandCounters, elapsed_ns: float,
+               num_channels: int = 1) -> DRAMEnergyBreakdown:
+        """Energy for the given command counts over ``elapsed_ns``."""
+        if elapsed_ns < 0:
+            raise ValueError("elapsed_ns must be non-negative")
+        params = self._params
+        slow_activates = counters.activates - counters.fast_activates
+        activation = (slow_activates * params.act_pre_nj
+                      + counters.fast_activates * params.act_pre_nj
+                      * params.fast_act_pre_scale)
+        read = counters.reads * params.read_nj
+        write = counters.writes * params.write_nj
+        reloc = counters.relocs * params.reloc_nj
+        refresh = counters.refreshes * params.refresh_nj
+        background = params.background_mw * 1e-3 * elapsed_ns * num_channels
+        return DRAMEnergyBreakdown(activation_nj=activation, read_nj=read,
+                                   write_nj=write, reloc_nj=reloc,
+                                   refresh_nj=refresh,
+                                   background_nj=background)
+
+    def relocation_energy_uj(self, num_blocks: int,
+                             include_act_pre: bool = True) -> float:
+        """Energy of relocating one segment of ``num_blocks`` blocks, in uJ.
+
+        With the default parameters and one block this is in the same
+        ballpark as the paper's 0.03 uJ estimate for a rank-level FIGARO
+        relocation (two activations, one RELOC, one precharge).
+        """
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        params = self._params
+        energy_nj = num_blocks * params.reloc_nj
+        if include_act_pre:
+            energy_nj += 2 * params.act_pre_nj * 0.725
+        return energy_nj / 1000.0

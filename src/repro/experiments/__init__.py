@@ -1,0 +1,48 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Every runner returns a plain dictionary (rows/series) that the benchmark
+harness prints, so the same code regenerates the paper's tables and figures
+at any scale.  ``ExperimentScale`` controls how much work each runner does;
+the defaults keep the full suite runnable on a laptop in minutes, and the
+benchmarks use an even smaller scale so CI stays fast.
+"""
+
+from repro.experiments.runner import (ExperimentScale, format_table,
+                                      run_configuration, run_single_core,
+                                      run_multicore)
+from repro.experiments.figures import (figure7_single_core,
+                                       figure8_multicore,
+                                       figure9_cache_hit_rate,
+                                       figure10_row_buffer_hit_rate,
+                                       figure11_energy,
+                                       figure12_cache_capacity,
+                                       figure13_segment_size,
+                                       figure14_replacement_policy,
+                                       figure15_insertion_threshold)
+from repro.experiments.static import (rowhammer_activation_study,
+                                      section42_reloc_timing,
+                                      section83_overhead,
+                                      table1_configuration,
+                                      table2_workloads)
+
+__all__ = [
+    "ExperimentScale",
+    "figure10_row_buffer_hit_rate",
+    "figure11_energy",
+    "figure12_cache_capacity",
+    "figure13_segment_size",
+    "figure14_replacement_policy",
+    "figure15_insertion_threshold",
+    "figure7_single_core",
+    "figure8_multicore",
+    "figure9_cache_hit_rate",
+    "format_table",
+    "rowhammer_activation_study",
+    "run_configuration",
+    "run_multicore",
+    "run_single_core",
+    "section42_reloc_timing",
+    "section83_overhead",
+    "table1_configuration",
+    "table2_workloads",
+]

@@ -1,0 +1,289 @@
+"""Runners for the paper's Figures 7–15.
+
+Every function returns a dictionary with a ``rows`` list (one row per data
+point the paper plots) plus the metadata needed to print it.  Weighted
+speedups are normalised against the Base configuration exactly as in the
+paper; absolute values are not expected to match the paper (the traces are
+far shorter), but the ordering and trends are.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.runner import (DEFAULT_CONFIGURATIONS, ExperimentScale,
+                                      geometric_mean, multicore_suite,
+                                      run_multicore, run_single_core,
+                                      single_core_benchmarks)
+
+#: Configurations compared by the in-DRAM cache metrics figures (9 and 10).
+_CACHE_CONFIGURATIONS = ("LISA-VILLA", "FIGCache-Slow", "FIGCache-Fast")
+
+
+def figure7_single_core(scale: ExperimentScale | None = None,
+                        configurations=DEFAULT_CONFIGURATIONS) -> dict:
+    """Figure 7: single-core speedup over Base per intensity class."""
+    scale = scale or ExperimentScale()
+    categories = single_core_benchmarks(scale)
+    rows = []
+    for category, benchmarks in categories.items():
+        speedups = defaultdict(list)
+        for benchmark in benchmarks:
+            base = run_single_core("Base", benchmark, scale)
+            base_ipc = base.cores[0].ipc
+            for configuration in configurations:
+                if configuration == "Base":
+                    continue
+                result = run_single_core(configuration, benchmark, scale)
+                speedups[configuration].append(result.cores[0].ipc / base_ipc)
+        for configuration in configurations:
+            if configuration == "Base":
+                continue
+            rows.append([category, configuration,
+                         geometric_mean(speedups[configuration])])
+    return {
+        "figure": "Figure 7",
+        "metric": "speedup over Base (geometric mean per category)",
+        "columns": ["category", "configuration", "speedup"],
+        "rows": rows,
+    }
+
+
+def _multicore_results(scale: ExperimentScale, configurations,
+                       **config_overrides) -> dict:
+    """Run the multiprogrammed suite; returns results[config][workload]."""
+    suite = multicore_suite(scale)
+    results: dict = {config: {} for config in configurations}
+    for workload in suite:
+        for configuration in configurations:
+            results[configuration][workload.name] = run_multicore(
+                configuration, workload, scale, **config_overrides)
+    results["_suite"] = suite
+    return results
+
+
+def figure8_multicore(scale: ExperimentScale | None = None,
+                      configurations=DEFAULT_CONFIGURATIONS) -> dict:
+    """Figure 8: eight-core weighted speedup over Base per intensity mix."""
+    scale = scale or ExperimentScale()
+    results = _multicore_results(scale, configurations)
+    suite = results["_suite"]
+    rows = []
+    categories = sorted({workload.intensive_fraction for workload in suite})
+    for fraction in categories:
+        workloads = [w for w in suite if w.intensive_fraction == fraction]
+        for configuration in configurations:
+            if configuration == "Base":
+                continue
+            speedups = []
+            for workload in workloads:
+                base = results["Base"][workload.name]
+                other = results[configuration][workload.name]
+                speedups.append(other.ipc_sum / base.ipc_sum)
+            rows.append([f"{int(fraction * 100)}% intensive", configuration,
+                         geometric_mean(speedups)])
+    return {
+        "figure": "Figure 8",
+        "metric": "weighted speedup over Base (geometric mean per category)",
+        "columns": ["category", "configuration", "speedup"],
+        "rows": rows,
+    }
+
+
+def figure9_cache_hit_rate(scale: ExperimentScale | None = None) -> dict:
+    """Figure 9: in-DRAM cache hit rate of the caching mechanisms."""
+    scale = scale or ExperimentScale()
+    rows = []
+    categories = single_core_benchmarks(scale)
+    for category, benchmarks in categories.items():
+        for configuration in _CACHE_CONFIGURATIONS:
+            rates = [run_single_core(configuration, benchmark, scale)
+                     .in_dram_cache_hit_rate for benchmark in benchmarks]
+            rows.append([f"1-core {category}", configuration,
+                         sum(rates) / len(rates)])
+    results = _multicore_results(scale, ("Base",) + _CACHE_CONFIGURATIONS)
+    suite = results["_suite"]
+    for fraction in sorted({w.intensive_fraction for w in suite}):
+        workloads = [w for w in suite if w.intensive_fraction == fraction]
+        for configuration in _CACHE_CONFIGURATIONS:
+            rates = [results[configuration][w.name].in_dram_cache_hit_rate
+                     for w in workloads]
+            rows.append([f"8-core {int(fraction * 100)}% intensive",
+                         configuration, sum(rates) / len(rates)])
+    return {
+        "figure": "Figure 9",
+        "metric": "in-DRAM cache hit rate",
+        "columns": ["category", "configuration", "hit_rate"],
+        "rows": rows,
+    }
+
+
+def figure10_row_buffer_hit_rate(scale: ExperimentScale | None = None) -> dict:
+    """Figure 10: DRAM row-buffer hit rate of the caching mechanisms."""
+    scale = scale or ExperimentScale()
+    rows = []
+    categories = single_core_benchmarks(scale)
+    configurations = ("Base",) + _CACHE_CONFIGURATIONS
+    for category, benchmarks in categories.items():
+        for configuration in configurations:
+            rates = [run_single_core(configuration, benchmark, scale)
+                     .row_buffer_hit_rate for benchmark in benchmarks]
+            rows.append([f"1-core {category}", configuration,
+                         sum(rates) / len(rates)])
+    results = _multicore_results(scale, configurations)
+    suite = results["_suite"]
+    for fraction in sorted({w.intensive_fraction for w in suite}):
+        workloads = [w for w in suite if w.intensive_fraction == fraction]
+        for configuration in configurations:
+            rates = [results[configuration][w.name].row_buffer_hit_rate
+                     for w in workloads]
+            rows.append([f"8-core {int(fraction * 100)}% intensive",
+                         configuration, sum(rates) / len(rates)])
+    return {
+        "figure": "Figure 10",
+        "metric": "DRAM row-buffer hit rate",
+        "columns": ["category", "configuration", "row_buffer_hit_rate"],
+        "rows": rows,
+    }
+
+
+def figure11_energy(scale: ExperimentScale | None = None) -> dict:
+    """Figure 11: system energy breakdown normalised to Base."""
+    scale = scale or ExperimentScale()
+    configurations = ("Base", "FIGCache-Slow", "FIGCache-Fast")
+    rows = []
+    categories = single_core_benchmarks(scale)
+    for category, benchmarks in categories.items():
+        for configuration in configurations:
+            components = defaultdict(float)
+            for benchmark in benchmarks:
+                base = run_single_core("Base", benchmark, scale)
+                result = run_single_core(configuration, benchmark, scale)
+                normalized = result.energy.normalized_to(base.energy)
+                for component, value in normalized.items():
+                    components[component] += value / len(benchmarks)
+            rows.append([f"1-core {category}", configuration,
+                         components["CPU"], components["L1&L2"],
+                         components["LLC"], components["Off-Chip"],
+                         components["DRAM"], components["Total"]])
+    results = _multicore_results(scale, configurations)
+    suite = results["_suite"]
+    for fraction in sorted({w.intensive_fraction for w in suite}):
+        workloads = [w for w in suite if w.intensive_fraction == fraction]
+        for configuration in configurations:
+            components = defaultdict(float)
+            for workload in workloads:
+                base = results["Base"][workload.name]
+                result = results[configuration][workload.name]
+                normalized = result.energy.normalized_to(base.energy)
+                for component, value in normalized.items():
+                    components[component] += value / len(workloads)
+            rows.append([f"8-core {int(fraction * 100)}% intensive",
+                         configuration,
+                         components["CPU"], components["L1&L2"],
+                         components["LLC"], components["Off-Chip"],
+                         components["DRAM"], components["Total"]])
+    return {
+        "figure": "Figure 11",
+        "metric": "energy normalised to Base",
+        "columns": ["category", "configuration", "CPU", "L1&L2", "LLC",
+                    "Off-Chip", "DRAM", "Total"],
+        "rows": rows,
+    }
+
+
+def _category_speedup(scale: ExperimentScale, configuration: str,
+                      **config_overrides) -> dict[str, float]:
+    """Weighted speedup over Base per multiprogrammed category."""
+    suite = multicore_suite(scale)
+    speedups: dict[str, list[float]] = defaultdict(list)
+    for workload in suite:
+        base = run_multicore("Base", workload, scale)
+        other = run_multicore(configuration, workload, scale,
+                              **config_overrides)
+        key = f"{int(workload.intensive_fraction * 100)}% intensive"
+        speedups[key].append(other.ipc_sum / base.ipc_sum)
+    return {key: geometric_mean(values) for key, values in speedups.items()}
+
+
+def figure12_cache_capacity(scale: ExperimentScale | None = None,
+                            fast_subarray_counts=(1, 2, 4, 8, 16)) -> dict:
+    """Figure 12: sensitivity to the number of fast subarrays per bank."""
+    scale = scale or ExperimentScale()
+    rows = []
+    for count in fast_subarray_counts:
+        cache_rows = count * 32
+        per_category = _category_speedup(scale, "FIGCache-Fast",
+                                         fast_subarrays=count,
+                                         cache_rows_per_bank=cache_rows)
+        for category, speedup in sorted(per_category.items()):
+            rows.append([category, f"{count} FS", speedup])
+    per_category = _category_speedup(scale, "LL-DRAM")
+    for category, speedup in sorted(per_category.items()):
+        rows.append([category, "LL-DRAM", speedup])
+    return {
+        "figure": "Figure 12",
+        "metric": "weighted speedup over Base vs. in-DRAM cache capacity",
+        "columns": ["category", "fast_subarrays", "speedup"],
+        "rows": rows,
+    }
+
+
+def figure13_segment_size(scale: ExperimentScale | None = None,
+                          segment_sizes_blocks=(8, 16, 32, 64, 128)) -> dict:
+    """Figure 13: sensitivity to the row segment size (512 B ... 8 kB)."""
+    scale = scale or ExperimentScale()
+    rows = []
+    for blocks in segment_sizes_blocks:
+        label = f"{blocks * 64}B" if blocks * 64 < 1024 \
+            else f"{blocks * 64 // 1024}kB"
+        per_category = _category_speedup(scale, "FIGCache-Fast",
+                                         segment_blocks=blocks)
+        for category, speedup in sorted(per_category.items()):
+            rows.append([category, label, speedup])
+    per_category = _category_speedup(scale, "LISA-VILLA")
+    for category, speedup in sorted(per_category.items()):
+        rows.append([category, "LISA-VILLA", speedup])
+    return {
+        "figure": "Figure 13",
+        "metric": "weighted speedup over Base vs. row segment size",
+        "columns": ["category", "segment_size", "speedup"],
+        "rows": rows,
+    }
+
+
+def figure14_replacement_policy(scale: ExperimentScale | None = None,
+                                policies=("Random", "LRU", "SegmentBenefit",
+                                          "RowBenefit")) -> dict:
+    """Figure 14: sensitivity to the in-DRAM cache replacement policy."""
+    scale = scale or ExperimentScale()
+    rows = []
+    for policy in policies:
+        per_category = _category_speedup(scale, "FIGCache-Fast",
+                                         replacement_policy=policy)
+        for category, speedup in sorted(per_category.items()):
+            rows.append([category, policy, speedup])
+    return {
+        "figure": "Figure 14",
+        "metric": "weighted speedup over Base vs. replacement policy",
+        "columns": ["category", "policy", "speedup"],
+        "rows": rows,
+    }
+
+
+def figure15_insertion_threshold(scale: ExperimentScale | None = None,
+                                 thresholds=(1, 2, 4, 8)) -> dict:
+    """Figure 15: sensitivity to the row segment insertion threshold."""
+    scale = scale or ExperimentScale()
+    rows = []
+    for threshold in thresholds:
+        per_category = _category_speedup(scale, "FIGCache-Fast",
+                                         insertion_threshold=threshold)
+        for category, speedup in sorted(per_category.items()):
+            rows.append([category, f"Threshold {threshold}", speedup])
+    return {
+        "figure": "Figure 15",
+        "metric": "weighted speedup over Base vs. insertion threshold",
+        "columns": ["category", "threshold", "speedup"],
+        "rows": rows,
+    }

@@ -1,0 +1,151 @@
+"""Shared machinery for the experiment runners.
+
+The runners simulate the same workloads on several configurations and report
+metrics normalised to Base, the way the paper's figures do.  A module-level
+result cache keyed by (configuration, workload, scale) lets Figures 8–11
+share the underlying simulations instead of re-running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.config import SystemConfig, make_system_config
+from repro.sim.metrics import SimulationResult
+from repro.sim.system import run_workload
+from repro.workloads.catalog import get_benchmark
+from repro.workloads.multiprogram import (MultiprogrammedWorkload,
+                                          make_workload_suite)
+from repro.workloads.trace import TraceRecord
+
+#: The default set of configurations the paper compares (Section 8).
+DEFAULT_CONFIGURATIONS = ("Base", "LISA-VILLA", "FIGCache-Slow",
+                          "FIGCache-Fast", "FIGCache-Ideal", "LL-DRAM")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much simulation work each experiment performs.
+
+    The paper simulates at least one billion instructions per core; this
+    reproduction uses small deterministic traces so the full matrix of
+    experiments runs in minutes.  Larger scales sharpen the steady-state
+    behaviour (in-DRAM cache hit rates, row-buffer gains) at linear cost.
+    """
+
+    #: Trace records per core for single-core experiments.
+    single_core_records: int = 10000
+    #: Trace records per core for multi-core experiments.
+    multicore_records: int = 4000
+    #: Cores in the multiprogrammed mixes.
+    num_cores: int = 8
+    #: Memory channels for multi-core experiments (paper: 4).
+    multicore_channels: int = 4
+    #: Multiprogrammed mixes per intensity category (paper: 5).
+    mixes_per_category: int = 1
+    #: Single-core benchmarks evaluated per intensity class (paper: 10).
+    benchmarks_per_class: int = 2
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """A minimal scale for unit tests."""
+        return cls(single_core_records=1500, multicore_records=600,
+                   num_cores=4, multicore_channels=2, mixes_per_category=1,
+                   benchmarks_per_class=1)
+
+
+_result_cache: dict = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached simulation results."""
+    _result_cache.clear()
+
+
+def run_configuration(config: SystemConfig, traces: list[list[TraceRecord]],
+                      workload_name: str, cache_key=None) -> SimulationResult:
+    """Run one (configuration, workload) pair, with optional caching."""
+    if cache_key is not None and cache_key in _result_cache:
+        return _result_cache[cache_key]
+    result = run_workload(config, traces, workload_name)
+    if cache_key is not None:
+        _result_cache[cache_key] = result
+    return result
+
+
+def run_single_core(configuration: str, benchmark: str,
+                    scale: ExperimentScale,
+                    **config_overrides) -> SimulationResult:
+    """Simulate one benchmark on one configuration, single core."""
+    spec = get_benchmark(benchmark)
+    trace = spec.make_trace(scale.single_core_records)
+    config = make_system_config(configuration, channels=1, **config_overrides)
+    key = ("1core", configuration, benchmark, scale,
+           tuple(sorted(config_overrides.items())))
+    return run_configuration(config, [trace], benchmark, cache_key=key)
+
+
+def run_multicore(configuration: str, workload: MultiprogrammedWorkload,
+                  scale: ExperimentScale,
+                  **config_overrides) -> SimulationResult:
+    """Simulate one multiprogrammed mix on one configuration."""
+    traces = workload.make_traces(scale.multicore_records)
+    config = make_system_config(configuration,
+                                channels=scale.multicore_channels,
+                                **config_overrides)
+    key = ("mp", configuration, workload.name, scale,
+           tuple(sorted(config_overrides.items())))
+    return run_configuration(config, traces, workload.name, cache_key=key)
+
+
+def multicore_suite(scale: ExperimentScale) -> list[MultiprogrammedWorkload]:
+    """The multiprogrammed workload suite at the requested scale."""
+    return make_workload_suite(num_cores=scale.num_cores,
+                               mixes_per_category=scale.mixes_per_category)
+
+
+def single_core_benchmarks(scale: ExperimentScale) -> dict[str, list[str]]:
+    """Benchmarks per intensity class used by the single-core figures."""
+    intensive = ["lbm", "mcf", "libquantum", "zeusmp", "GemsFDTD", "bwaves",
+                 "leslie3d", "com", "tigr", "mum"]
+    non_intensive = ["gcc", "h264ref", "tpcc64", "sjeng", "bzip2", "gromacs",
+                     "bfs", "sandygrep", "wc-8443", "tpch2"]
+    count = scale.benchmarks_per_class
+    return {
+        "Memory Non-Intensive": non_intensive[:count],
+        "Memory Intensive": intensive[:count],
+    }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (used for speedup aggregation)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(title: str, columns: list[str],
+                 rows: list[list]) -> str:
+    """Render a result table as fixed-width text for the bench harness."""
+    widths = [len(str(column)) for column in columns]
+    rendered_rows = []
+    for row in rows:
+        rendered = [f"{value:.3f}" if isinstance(value, float) else str(value)
+                    for value in row]
+        rendered_rows.append(rendered)
+        widths = [max(width, len(cell))
+                  for width, cell in zip(widths, rendered)]
+    lines = [title]
+    header = "  ".join(str(column).ljust(width)
+                       for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""System assembly and the event-driven simulation loop.
+
+* :mod:`repro.sim.config` — :class:`SystemConfig` ties together the DRAM
+  organization, the caching mechanism, the core configuration, and the
+  workload scaling knobs, and provides named constructors for every
+  configuration the paper evaluates (Base, LISA-VILLA, FIGCache-Slow/-Fast/
+  -Ideal, LL-DRAM).
+* :mod:`repro.sim.system` — builds a :class:`System` (cores + caches +
+  controller + DRAM + mechanism) from a configuration and a set of traces.
+* :mod:`repro.sim.simulator` — the global event loop co-simulating the cores
+  and the memory system.
+* :mod:`repro.sim.metrics` — :class:`SimulationResult` with IPC, weighted
+  speedup, in-DRAM cache hit rate, row-buffer hit rate, and energy.
+"""
+
+from repro.sim.config import (CONFIGURATION_NAMES, SystemConfig,
+                              make_mechanism, make_system_config)
+from repro.sim.metrics import SimulationResult, weighted_speedup
+from repro.sim.simulator import Simulator
+from repro.sim.system import System, run_workload
+
+__all__ = [
+    "CONFIGURATION_NAMES",
+    "SimulationResult",
+    "Simulator",
+    "System",
+    "SystemConfig",
+    "make_mechanism",
+    "make_system_config",
+    "run_workload",
+    "weighted_speedup",
+]

@@ -1,0 +1,132 @@
+"""System configuration: the evaluated mechanisms and their DRAM setups.
+
+The paper evaluates six configurations (Section 8): Base, LISA-VILLA,
+FIGCache-Slow, FIGCache-Fast, FIGCache-Ideal, and LL-DRAM.  Each one is a
+combination of a DRAM organization (how many fast subarrays exist, whether
+every subarray is fast) and a caching mechanism (none, LISA-VILLA row
+caching, or FIGCache with a placement option).  :func:`make_system_config`
+builds the right combination by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.base import BaseMechanism
+from repro.baselines.lisa_villa import LISAVillaConfig, LISAVillaMechanism
+from repro.controller.scheduler import SchedulerConfig
+from repro.core.figcache import FIGCache, FIGCacheConfig
+from repro.core.mechanism import CachingMechanism
+from repro.cpu.core import CoreConfig
+from repro.dram.config import DRAMConfig
+
+#: Names of the configurations evaluated in the paper, in presentation order.
+CONFIGURATION_NAMES = (
+    "Base",
+    "LISA-VILLA",
+    "FIGCache-Slow",
+    "FIGCache-Fast",
+    "FIGCache-Ideal",
+    "LL-DRAM",
+)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated system."""
+
+    #: Configuration name (one of :data:`CONFIGURATION_NAMES`).
+    name: str
+    #: DRAM organization (includes fast subarray layout).
+    dram: DRAMConfig
+    #: Core front-end and cache hierarchy configuration.
+    core: CoreConfig = field(default_factory=CoreConfig)
+    #: Memory controller queue/scheduling configuration.
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: FIGCache configuration (only used by FIGCache-* systems).
+    figcache: FIGCacheConfig | None = None
+    #: LISA-VILLA configuration (only used by the LISA-VILLA system).
+    lisa_villa: LISAVillaConfig | None = None
+    #: Enable DRAM refresh (tREFI/tRFC).
+    refresh_enabled: bool = True
+    #: Track per-row activation counts (RowHammer-style analysis only).
+    track_row_activations: bool = False
+
+
+def make_mechanism(config: SystemConfig) -> list[CachingMechanism]:
+    """Instantiate one caching-mechanism object per channel."""
+    mechanisms: list[CachingMechanism] = []
+    for _ in range(config.dram.channels):
+        if config.name in ("Base", "LL-DRAM"):
+            mechanisms.append(BaseMechanism())
+        elif config.name == "LISA-VILLA":
+            mechanisms.append(LISAVillaMechanism(config.dram,
+                                                 config.lisa_villa))
+        elif config.name.startswith("FIGCache"):
+            mechanisms.append(FIGCache(config.dram, config.figcache))
+        else:
+            raise ValueError(f"unknown configuration name {config.name!r}")
+    return mechanisms
+
+
+def make_system_config(name: str, channels: int = 1,
+                       core: CoreConfig | None = None,
+                       segment_blocks: int = 16,
+                       cache_rows_per_bank: int = 64,
+                       fast_subarrays: int = 2,
+                       replacement_policy: str = "RowBenefit",
+                       insertion_threshold: int = 1,
+                       refresh_enabled: bool = True,
+                       track_row_activations: bool = False,
+                       dram_overrides: dict | None = None) -> SystemConfig:
+    """Build the named configuration (paper Section 8).
+
+    Parameters other than ``name`` and ``channels`` are the sensitivity
+    knobs used by the Figure 12–15 studies; the defaults reproduce the
+    paper's Table 1 configuration.
+    """
+    if name not in CONFIGURATION_NAMES:
+        raise ValueError(f"unknown configuration {name!r}; choose one of "
+                         f"{CONFIGURATION_NAMES}")
+    core = core or CoreConfig()
+    dram = DRAMConfig(channels=channels)
+    if dram_overrides:
+        dram = replace(dram, **dram_overrides)
+
+    figcache_config: FIGCacheConfig | None = None
+    lisa_config: LISAVillaConfig | None = None
+
+    if name == "Base":
+        pass
+    elif name == "LL-DRAM":
+        dram = replace(dram, all_subarrays_fast=True)
+    elif name == "LISA-VILLA":
+        lisa_config = LISAVillaConfig()
+        dram = replace(dram,
+                       fast_subarrays_per_bank=lisa_config.fast_subarrays_per_bank,
+                       rows_per_fast_subarray=32)
+    elif name == "FIGCache-Slow":
+        figcache_config = FIGCacheConfig(
+            segment_blocks=segment_blocks,
+            cache_rows_per_bank=cache_rows_per_bank,
+            placement="slow",
+            replacement_policy=replacement_policy,
+            insertion_threshold=insertion_threshold)
+    elif name in ("FIGCache-Fast", "FIGCache-Ideal"):
+        rows_per_fast = 32
+        needed_fast_subarrays = max(
+            fast_subarrays,
+            -(-cache_rows_per_bank // rows_per_fast))  # ceiling division
+        dram = replace(dram, fast_subarrays_per_bank=needed_fast_subarrays,
+                       rows_per_fast_subarray=rows_per_fast)
+        figcache_config = FIGCacheConfig(
+            segment_blocks=segment_blocks,
+            cache_rows_per_bank=cache_rows_per_bank,
+            placement="fast" if name == "FIGCache-Fast" else "ideal",
+            replacement_policy=replacement_policy,
+            insertion_threshold=insertion_threshold)
+
+    return SystemConfig(name=name, dram=dram, core=core,
+                        figcache=figcache_config, lisa_villa=lisa_config,
+                        refresh_enabled=refresh_enabled,
+                        track_row_activations=track_row_activations)

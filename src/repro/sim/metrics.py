@@ -1,0 +1,121 @@
+"""Simulation result metrics.
+
+Collects the quantities the paper reports: per-core IPC, weighted speedup
+for multiprogrammed workloads, in-DRAM cache hit rate (Figure 9), DRAM
+row-buffer hit rate (Figure 10), average memory latency, and the energy
+breakdown (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.counters import CommandCounters
+from repro.energy.system_energy import SystemEnergyBreakdown
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of one simulation."""
+
+    core_id: int
+    instructions: int
+    cycles: int
+    llc_misses: int
+    memory_instructions: int
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle for this core."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+
+@dataclass
+class SimulationResult:
+    """Full outcome of simulating one workload on one configuration."""
+
+    #: Configuration name (Base, FIGCache-Fast, ...).
+    configuration: str
+    #: Workload name.
+    workload: str
+    #: Per-core results, in core order.
+    cores: list[CoreResult]
+    #: Total simulated cycles (the longest core's finish time).
+    total_cycles: int
+    #: Simulated wall-clock time in nanoseconds.
+    elapsed_ns: float
+    #: Aggregate DRAM command counters.
+    dram_counters: CommandCounters
+    #: In-DRAM cache hit rate (0.0 for systems without a cache).
+    in_dram_cache_hit_rate: float
+    #: In-DRAM cache lookups and hits (absolute counts).
+    cache_lookups: int
+    cache_hits: int
+    #: Mean read latency observed at the memory controller, in cycles.
+    average_read_latency_cycles: float
+    #: Reads and writes serviced by the memory system.
+    memory_reads: int
+    memory_writes: int
+    #: Relocation work performed by the caching mechanism.
+    relocation_operations: int
+    relocation_cycles: int
+    #: Energy breakdown (filled in by the system runner).
+    energy: SystemEnergyBreakdown | None = None
+    #: Optional extra per-experiment data.
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        """DRAM row-buffer hit rate over all column accesses."""
+        return self.dram_counters.row_buffer_hit_rate
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions executed across cores."""
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def ipc_sum(self) -> float:
+        """Sum of per-core IPCs (throughput metric for identical cores)."""
+        return sum(core.ipc for core in self.cores)
+
+    def ipc_of(self, core_id: int) -> float:
+        """IPC of one core."""
+        return self.cores[core_id].ipc
+
+
+def weighted_speedup(shared: SimulationResult,
+                     alone_ipcs: list[float]) -> float:
+    """Weighted speedup of a multiprogrammed run (Snavely & Tullsen).
+
+    ``alone_ipcs[i]`` is core *i*'s IPC when its application runs alone on
+    the baseline system.  The paper uses weighted speedup as its system
+    performance metric for the eight-core workloads.
+    """
+    if len(alone_ipcs) != len(shared.cores):
+        raise ValueError("need one alone-IPC per core")
+    total = 0.0
+    for core, alone in zip(shared.cores, alone_ipcs):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        total += core.ipc / alone
+    return total
+
+
+def speedup_over(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Single-core speedup: IPC ratio against a baseline run."""
+    if len(result.cores) != 1 or len(baseline.cores) != 1:
+        raise ValueError("speedup_over is defined for single-core runs")
+    base_ipc = baseline.cores[0].ipc
+    if base_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return result.cores[0].ipc / base_ipc

@@ -1,0 +1,152 @@
+"""Global event-driven simulation loop.
+
+The :class:`Simulator` co-simulates the trace-driven cores and the memory
+system.  Three event kinds drive it:
+
+* ``CORE_RUN`` — a core can make progress (at the start of the simulation,
+  or after a memory completion unblocked it);
+* ``REQUEST_ARRIVAL`` — a memory request issued by a core reaches the memory
+  controller at its issue cycle;
+* ``CONTROLLER_WAKE`` — a bank that had pending work becomes free and the
+  controller should try to schedule again.
+
+Events are processed in global time order, so the memory controller always
+sees request arrivals from different cores correctly interleaved.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemoryRequest
+from repro.cpu.core import TraceCore
+
+_CORE_RUN = 0
+_REQUEST_ARRIVAL = 1
+_CONTROLLER_WAKE = 2
+
+
+@dataclass
+class SimulatorLimits:
+    """Safety limits for one simulation run."""
+
+    #: Hard cap on simulated cycles (guards against livelock in development).
+    max_cycles: int = 5_000_000_000
+    #: Hard cap on processed events.
+    max_events: int = 200_000_000
+
+
+class Simulator:
+    """Event-driven co-simulation of cores and the memory system."""
+
+    def __init__(self, cores: list[TraceCore], controller: MemoryController,
+                 limits: SimulatorLimits | None = None):
+        if not cores:
+            raise ValueError("at least one core is required")
+        self._cores = cores
+        self._controller = controller
+        self._limits = limits or SimulatorLimits()
+        self._events: list[tuple[int, int, int, object]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        #: Cycle of the earliest CONTROLLER_WAKE event currently queued, used
+        #: to avoid flooding the event heap with duplicate wake-ups.
+        self._scheduled_wake: int | None = None
+        self.processed_events = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event helpers.
+    # ------------------------------------------------------------------
+    def _push(self, cycle: int, kind: int, payload: object) -> None:
+        heapq.heappush(self._events,
+                       (cycle, next(self._sequence), kind, payload))
+
+    def _schedule_controller_wake(self) -> None:
+        wake = self._controller.next_wakeup()
+        if wake is None:
+            return
+        wake = max(wake, self._now)
+        if self._scheduled_wake is not None and self._scheduled_wake <= wake:
+            return
+        self._scheduled_wake = wake
+        self._push(wake, _CONTROLLER_WAKE, None)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Run until every core finishes its trace; returns the final cycle."""
+        for core in self._cores:
+            self._push(0, _CORE_RUN, core)
+
+        finish_cycle = 0
+        while self._events:
+            cycle, _, kind, payload = heapq.heappop(self._events)
+            self._now = max(self._now, cycle)
+            self.processed_events += 1
+            self._check_limits()
+
+            if kind == _CORE_RUN:
+                self._handle_core_run(payload, cycle)
+            elif kind == _REQUEST_ARRIVAL:
+                self._handle_arrival(payload, cycle)
+            else:
+                self._handle_controller_wake(cycle)
+
+        # Flush any writes still sitting in the controller queues so that
+        # command counts and energy reflect the whole workload.
+        finish_cycle = max((core.stats.finish_cycle for core in self._cores),
+                          default=self._now)
+        drain_cycle = self._controller.drain_all(self._now)
+        self._now = max(self._now, drain_cycle, finish_cycle)
+        return finish_cycle
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+    def _handle_core_run(self, core: TraceCore, cycle: int) -> None:
+        result = core.run(cycle)
+        for issued in result.requests:
+            request = MemoryRequest(core_id=core.core_id,
+                                    address=issued.address,
+                                    is_write=issued.is_write,
+                                    arrival_cycle=issued.issue_cycle)
+            self._push(issued.issue_cycle, _REQUEST_ARRIVAL, request)
+
+    def _handle_arrival(self, request: MemoryRequest, cycle: int) -> None:
+        completed = self._controller.enqueue(request, cycle)
+        self._deliver_completions(completed)
+        self._schedule_controller_wake()
+
+    def _handle_controller_wake(self, cycle: int) -> None:
+        if self._scheduled_wake is not None and self._scheduled_wake <= cycle:
+            self._scheduled_wake = None
+        completed = self._controller.wake(cycle)
+        self._deliver_completions(completed)
+        self._schedule_controller_wake()
+
+    def _deliver_completions(self, completed: list[MemoryRequest]) -> None:
+        for request in completed:
+            if request.is_write:
+                continue
+            core = self._cores[request.core_id]
+            can_progress = core.notify_completion(request.address,
+                                                  request.completion_cycle)
+            if can_progress:
+                self._push(request.completion_cycle, _CORE_RUN, core)
+
+    def _check_limits(self) -> None:
+        if self._now > self._limits.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded {self._limits.max_cycles} cycles")
+        if self.processed_events > self._limits.max_events:
+            raise RuntimeError(
+                f"simulation exceeded {self._limits.max_events} events")

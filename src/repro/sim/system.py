@@ -1,0 +1,117 @@
+"""System assembly and the one-call workload runner.
+
+:class:`System` wires a :class:`~repro.sim.config.SystemConfig` and a set of
+per-core traces into cores, caches, the memory controller, the DRAM device,
+and the caching mechanism, runs the event-driven simulation, and produces a
+:class:`~repro.sim.metrics.SimulationResult` including the energy breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.controller.controller import MemoryController
+from repro.cpu.core import TraceCore
+from repro.dram.device import DRAMDevice
+from repro.energy.system_energy import (SystemActivity, SystemEnergyModel,
+                                         SystemEnergyParams)
+from repro.sim.config import SystemConfig, make_mechanism
+from repro.sim.metrics import CoreResult, SimulationResult
+from repro.sim.simulator import Simulator, SimulatorLimits
+from repro.workloads.trace import TraceRecord
+
+
+class System:
+    """One fully assembled simulated system."""
+
+    def __init__(self, config: SystemConfig,
+                 traces: list[list[TraceRecord]],
+                 energy_params: SystemEnergyParams | None = None,
+                 limits: SimulatorLimits | None = None):
+        if not traces:
+            raise ValueError("at least one per-core trace is required")
+        self.config = config
+        self.device = DRAMDevice(config.dram,
+                                 refresh_enabled=config.refresh_enabled,
+                                 track_row_activations=config.track_row_activations)
+        self.mechanisms = make_mechanism(config)
+        self.controller = MemoryController(self.device, self.mechanisms,
+                                           config.scheduler)
+        self.cores = [TraceCore(core_id, trace, config.core)
+                      for core_id, trace in enumerate(traces)]
+        self.energy_model = SystemEnergyModel(energy_params)
+        self._limits = limits
+
+    def run(self, workload_name: str = "workload") -> SimulationResult:
+        """Simulate the workload to completion and gather all metrics."""
+        simulator = Simulator(self.cores, self.controller, self._limits)
+        simulator.run()
+
+        core_results = [
+            CoreResult(core_id=core.core_id,
+                       instructions=core.stats.instructions,
+                       cycles=max(core.stats.finish_cycle, 1),
+                       llc_misses=(core.stats.llc_miss_loads
+                                   + core.stats.llc_miss_stores),
+                       memory_instructions=core.stats.memory_instructions)
+            for core in self.cores
+        ]
+        total_cycles = max(core.cycles for core in core_results)
+        clock_ghz = self.config.dram.cpu_clock_ghz
+        elapsed_ns = total_cycles / clock_ghz
+
+        counters = self.device.total_counters()
+        cache_lookups = sum(m.stats.cache_lookups for m in self.mechanisms)
+        cache_hits = sum(m.stats.cache_hits for m in self.mechanisms)
+        relocation_ops = sum(m.stats.relocation_operations
+                             for m in self.mechanisms)
+        relocation_cycles = sum(m.stats.relocation_cycles
+                                for m in self.mechanisms)
+        hit_rate = cache_hits / cache_lookups if cache_lookups else 0.0
+
+        result = SimulationResult(
+            configuration=self.config.name,
+            workload=workload_name,
+            cores=core_results,
+            total_cycles=total_cycles,
+            elapsed_ns=elapsed_ns,
+            dram_counters=counters,
+            in_dram_cache_hit_rate=hit_rate,
+            cache_lookups=cache_lookups,
+            cache_hits=cache_hits,
+            average_read_latency_cycles=self.controller.average_read_latency(),
+            memory_reads=self.controller.completed_reads,
+            memory_writes=self.controller.completed_writes,
+            relocation_operations=relocation_ops,
+            relocation_cycles=relocation_cycles,
+        )
+        result.energy = self._compute_energy(result)
+        return result
+
+    def _compute_energy(self, result: SimulationResult):
+        l1l2_accesses = sum(core.hierarchy.l1.hits + core.hierarchy.l1.misses
+                            + core.hierarchy.l2.hits + core.hierarchy.l2.misses
+                            for core in self.cores)
+        llc_accesses = sum(core.hierarchy.llc.hits + core.hierarchy.llc.misses
+                           for core in self.cores)
+        offchip_blocks = result.memory_reads + result.memory_writes
+        activity = SystemActivity(
+            elapsed_ns=result.elapsed_ns,
+            num_cores=len(self.cores),
+            num_channels=self.config.dram.channels,
+            instructions=result.instructions,
+            l1l2_accesses=l1l2_accesses,
+            llc_accesses=llc_accesses,
+            offchip_blocks=offchip_blocks,
+            dram_counters=result.dram_counters,
+            has_tag_store=self.config.name not in ("Base", "LL-DRAM"),
+        )
+        return self.energy_model.energy(activity)
+
+
+def run_workload(config: SystemConfig, traces: list[list[TraceRecord]],
+                 workload_name: str = "workload",
+                 energy_params: SystemEnergyParams | None = None,
+                 limits: SimulatorLimits | None = None) -> SimulationResult:
+    """Build a system for ``config``, run ``traces``, and return the result."""
+    system = System(config, traces, energy_params=energy_params,
+                    limits=limits)
+    return system.run(workload_name)

@@ -1,0 +1,42 @@
+"""Workload and trace generation.
+
+The paper drives its simulator with Pin-collected traces of SPEC CPU2006,
+TPC, MediaBench, BioBench, and Memory Scheduling Championship applications
+(Table 2).  Those traces are not redistributable, so this package provides
+deterministic synthetic generators whose profiles are tuned to reproduce the
+properties the paper's analysis depends on:
+
+* memory intensity (LLC misses per kilo-instruction) above or below the
+  10-MPKI intensive/non-intensive boundary;
+* hot *row segments* spread over many DRAM rows, so that only a fraction of
+  each row is live while it is open (the behaviour FIGCache exploits);
+* a mix of streaming, strided, pointer-chasing, and zipfian access patterns;
+* read/write mixes typical of the named applications.
+
+See DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.catalog import (BENCHMARKS, WorkloadSpec,
+                                     benchmark_names, get_benchmark,
+                                     intensive_benchmarks,
+                                     non_intensive_benchmarks)
+from repro.workloads.multiprogram import (MultiprogrammedWorkload,
+                                          make_workload_suite,
+                                          make_multiprogrammed_workload)
+from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.trace import TraceRecord, trace_statistics
+
+__all__ = [
+    "BENCHMARKS",
+    "MultiprogrammedWorkload",
+    "SyntheticTraceGenerator",
+    "TraceRecord",
+    "WorkloadSpec",
+    "benchmark_names",
+    "get_benchmark",
+    "intensive_benchmarks",
+    "make_multiprogrammed_workload",
+    "make_workload_suite",
+    "non_intensive_benchmarks",
+    "trace_statistics",
+]

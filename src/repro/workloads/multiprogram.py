@@ -1,0 +1,111 @@
+"""Multiprogrammed (8-core) workload construction.
+
+The paper evaluates twenty eight-core multiprogrammed workloads, grouped by
+the fraction of memory-intensive applications in the mix: 25 %, 50 %, 75 %,
+and 100 % (five workloads per group).  This module builds the equivalent
+mixes deterministically from the benchmark catalog: each core runs one named
+benchmark with its own address-space slice and a decorrelated seed.
+
+It also builds multithreaded-style workloads, where every core runs the same
+profile over a *shared* allocation (overlapping footprints), mimicking the
+PARSEC/SPLASH-2 applications the paper reports separately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.catalog import (MULTITHREADED_BENCHMARKS, WorkloadSpec,
+                                     intensive_benchmarks,
+                                     non_intensive_benchmarks)
+from repro.workloads.trace import TraceRecord
+
+#: Address-space slice given to each core of a multiprogrammed mix.  The
+#: slices keep per-core footprints disjoint, like separate OS processes.
+CORE_ADDRESS_STRIDE = 1 << 32
+
+
+@dataclass(frozen=True)
+class MultiprogrammedWorkload:
+    """One multi-core workload: a named mix of per-core benchmarks."""
+
+    #: Workload name, e.g. ``mix-75pct-2``.
+    name: str
+    #: Fraction of cores running memory-intensive benchmarks (0.25 .. 1.0).
+    intensive_fraction: float
+    #: The benchmark assigned to each core, in core order.
+    benchmarks: tuple[WorkloadSpec, ...]
+    #: Whether all cores share one allocation (multithreaded style).
+    shared_address_space: bool = False
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in the mix."""
+        return len(self.benchmarks)
+
+    def make_traces(self, records_per_core: int) -> list[list[TraceRecord]]:
+        """Generate one trace per core."""
+        traces = []
+        for core_id, spec in enumerate(self.benchmarks):
+            base = 0 if self.shared_address_space \
+                else core_id * CORE_ADDRESS_STRIDE
+            # Shared-address-space workloads intentionally keep the same base
+            # but still decorrelate the request interleaving across threads.
+            traces.append(spec.make_trace(records_per_core,
+                                          seed_offset=17 * core_id,
+                                          base_address=base))
+        return traces
+
+
+def make_multiprogrammed_workload(intensive_fraction: float, index: int,
+                                  num_cores: int = 8,
+                                  seed: int = 42) -> MultiprogrammedWorkload:
+    """Build one eight-core mix with the requested intensive fraction.
+
+    ``index`` selects one of the deterministic mixes within a category (the
+    paper uses five per category).
+    """
+    if not 0.0 <= intensive_fraction <= 1.0:
+        raise ValueError("intensive_fraction must be within [0, 1]")
+    num_intensive = round(intensive_fraction * num_cores)
+    rng = random.Random(seed * 1000 + index * 17
+                        + int(intensive_fraction * 100))
+    intensive_pool = intensive_benchmarks()
+    non_intensive_pool = non_intensive_benchmarks()
+    chosen = [rng.choice(intensive_pool) for _ in range(num_intensive)]
+    chosen += [rng.choice(non_intensive_pool)
+               for _ in range(num_cores - num_intensive)]
+    rng.shuffle(chosen)
+    name = f"mix-{int(intensive_fraction * 100)}pct-{index}"
+    return MultiprogrammedWorkload(name=name,
+                                   intensive_fraction=intensive_fraction,
+                                   benchmarks=tuple(chosen))
+
+
+def make_workload_suite(num_cores: int = 8, mixes_per_category: int = 5,
+                        seed: int = 42) -> list[MultiprogrammedWorkload]:
+    """Build the paper's twenty-workload multiprogrammed suite.
+
+    Four categories (25 %, 50 %, 75 %, 100 % memory intensive) with
+    ``mixes_per_category`` workloads each.
+    """
+    suite = []
+    for fraction in (0.25, 0.50, 0.75, 1.00):
+        for index in range(mixes_per_category):
+            suite.append(make_multiprogrammed_workload(
+                fraction, index, num_cores=num_cores, seed=seed))
+    return suite
+
+
+def make_multithreaded_workload(name: str,
+                                num_cores: int = 8) -> MultiprogrammedWorkload:
+    """Build a shared-address-space workload from a multithreaded profile."""
+    if name not in MULTITHREADED_BENCHMARKS:
+        raise KeyError(f"unknown multithreaded benchmark {name!r}; known: "
+                       f"{sorted(MULTITHREADED_BENCHMARKS)}")
+    spec = MULTITHREADED_BENCHMARKS[name]
+    return MultiprogrammedWorkload(name=f"mt-{name}",
+                                   intensive_fraction=1.0,
+                                   benchmarks=tuple([spec] * num_cores),
+                                   shared_address_space=True)

@@ -1,0 +1,279 @@
+"""Synthetic memory-trace generation.
+
+The generator produces address streams with the locality structure the
+paper's analysis is built on: applications touch only small *row segments*
+(about 1 kB) of each DRAM row they visit, those segments are scattered over
+many rows and banks, and the working set of actively reused segments is
+larger than the on-chip caches but far smaller than an in-DRAM cache.  Under
+those conditions row-granularity in-DRAM caches waste most of their space,
+while segment-granularity caching (FIGCache) both saves fast-region space
+and turns scattered accesses into row-buffer hits by packing segments that
+are accessed close together in time into the same cache row.
+
+Three pattern components can be mixed:
+
+* ``hot`` — repeated, slightly irregular iteration over a *window* of hot
+  segments (the current phase of the application).  Each visit to a segment
+  issues a short sequential burst of blocks.  Because the window exceeds the
+  last-level cache, the reuse reaches DRAM; because the segments are
+  scattered across many rows, consecutive same-bank accesses conflict in a
+  conventional system.  The iteration order repeats from pass to pass (with
+  a configurable probability of jumping to a random position), which is what
+  gives temporally-adjacent segments their repeatable adjacency.
+* ``stream`` — several concurrent sequential streams (e.g. the multiple
+  arrays of a stencil code), interleaved access by access.  Streams have
+  high spatial locality but no reuse.
+* ``random`` — pointer-chase style uniform accesses over the full working
+  set (no locality).
+
+The mix fractions, window size, memory intensity (bubbles between memory
+instructions), and write fraction are the knobs the workload catalog
+(Table 2 equivalents) uses to define named benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Parameters controlling a synthetic address stream."""
+
+    #: Mean non-memory instructions between memory instructions.  Together
+    #: with the cache hit rate this sets the LLC MPKI (memory intensity).
+    mean_bubbles: float = 30.0
+    #: Total number of hot row segments in the workload (the pool the active
+    #: window drifts over).
+    hot_segments: int = 8192
+    #: Size of one hot segment in bytes (1 kB = one FIGCache row segment).
+    hot_segment_bytes: int = 1024
+    #: Number of distinct DRAM rows the hot segments are scattered across.
+    #: When smaller than ``hot_segments``, several segments share a row;
+    #: when equal, every hot segment lives in its own row (worst case for
+    #: row-granularity caching).
+    hot_rows: int = 8192
+    #: Number of segments in the actively reused window (the current phase).
+    #: Its byte size (``hot_window_segments * hot_segment_bytes``) should
+    #: exceed the LLC so the reuse reaches DRAM.
+    hot_window_segments: int = 768
+    #: Probability, per hot segment visit, that the window slides forward by
+    #: one segment (slow phase drift).
+    hot_window_drift: float = 0.01
+    #: Probability that the next segment visit jumps to a random window
+    #: position instead of following the iteration order.  0 gives a fully
+    #: repeatable scan (stencil/array codes); larger values approximate
+    #: pointer chasing.
+    hot_jump_probability: float = 0.1
+    #: Blocks accessed per segment visit (the sequential burst length).
+    hot_burst_blocks: int = 6
+    #: Fraction of accesses going to hot segments.
+    hot_fraction: float = 0.70
+    #: Fraction of accesses belonging to the concurrent sequential streams.
+    stream_fraction: float = 0.20
+    #: Number of concurrent streams (arrays walked in lockstep).
+    concurrent_streams: int = 4
+    #: Length of one stream run in blocks before it restarts elsewhere.
+    stream_length_blocks: int = 512
+    #: Fraction of accesses that are uniformly random over the working set.
+    random_fraction: float = 0.10
+    #: Total working-set span in bytes for streaming/random components.
+    working_set_bytes: int = 256 * 1024 * 1024
+    #: Fraction of memory instructions that are stores.
+    write_fraction: float = 0.25
+    #: Cache block size (addresses are generated at block granularity).
+    block_size_bytes: int = 64
+    #: DRAM row size (used to scatter hot segments across rows).
+    row_size_bytes: int = 8192
+    #: Base byte address of the workload's allocation.
+    base_address: int = 0
+    #: Random seed (the generator is fully deterministic given the seed).
+    seed: int = 1
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent parameters."""
+        total = self.hot_fraction + self.stream_fraction + self.random_fraction
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"pattern fractions must sum to 1.0, got {total}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.hot_segments <= 0 or self.hot_rows <= 0:
+            raise ValueError("hot_segments and hot_rows must be positive")
+        if self.hot_window_segments <= 0 \
+                or self.hot_window_segments > self.hot_segments:
+            raise ValueError(
+                "hot_window_segments must be positive and no larger than "
+                "hot_segments")
+        if not 0.0 <= self.hot_window_drift <= 1.0:
+            raise ValueError("hot_window_drift must be in [0, 1]")
+        if not 0.0 <= self.hot_jump_probability <= 1.0:
+            raise ValueError("hot_jump_probability must be in [0, 1]")
+        if self.hot_segment_bytes < self.block_size_bytes:
+            raise ValueError("a hot segment must hold at least one block")
+        if self.hot_burst_blocks <= 0:
+            raise ValueError("hot_burst_blocks must be positive")
+        if self.concurrent_streams <= 0 or self.stream_length_blocks <= 0:
+            raise ValueError(
+                "concurrent_streams and stream_length_blocks must be positive")
+        if self.mean_bubbles < 0:
+            raise ValueError("mean_bubbles must be non-negative")
+
+    @property
+    def hot_window_bytes(self) -> int:
+        """Byte size of the actively reused window."""
+        return self.hot_window_segments * self.hot_segment_bytes
+
+
+class SyntheticTraceGenerator:
+    """Deterministic generator of synthetic memory traces."""
+
+    def __init__(self, config: SyntheticTraceConfig):
+        config.validate()
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._hot_segment_bases = self._build_hot_segment_bases()
+        #: Position of the window within the segment pool.
+        self._window_start = 0
+        #: Position of the iteration cursor within the window.
+        self._scan_position = 0
+        #: Remaining blocks of the current segment visit, and its state.
+        self._burst_remaining = 0
+        self._burst_segment = 0
+        self._burst_block = 0
+        #: Concurrent stream state: (base block index, blocks consumed).
+        self._streams = [self._new_stream() for _ in
+                         range(config.concurrent_streams)]
+        self._next_stream = 0
+
+    @property
+    def config(self) -> SyntheticTraceConfig:
+        """The generator configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    def _build_hot_segment_bases(self) -> list[int]:
+        """Place each hot segment at a (row, in-row offset) location.
+
+        Segments are distributed round-robin over ``hot_rows`` rows spread
+        across the working set, and each lands at a random segment-aligned
+        offset within its row.  Spreading the rows widely makes the segments
+        map to many different banks and rows, which is what creates the
+        row-buffer interference FIGCache relieves.
+        """
+        config = self._config
+        rows_span = max(1, config.working_set_bytes // config.row_size_bytes)
+        row_stride = max(1, rows_span // config.hot_rows)
+        segments_per_row = max(1, config.row_size_bytes
+                               // config.hot_segment_bytes)
+        bases = []
+        for index in range(config.hot_segments):
+            row_index = (index % config.hot_rows) * row_stride
+            offset_slot = self._rng.randrange(segments_per_row)
+            base = (config.base_address
+                    + row_index * config.row_size_bytes
+                    + offset_slot * config.hot_segment_bytes)
+            bases.append(base)
+        return bases
+
+    def _new_stream(self) -> list[int]:
+        """Start a stream at a random block-aligned location."""
+        config = self._config
+        blocks = config.working_set_bytes // config.block_size_bytes
+        return [self._rng.randrange(blocks), 0]
+
+    # ------------------------------------------------------------------
+    # Hot (reused, scattered) component.
+    # ------------------------------------------------------------------
+    def _begin_segment_visit(self) -> None:
+        """Advance the scan to the next segment and start its burst."""
+        config = self._config
+        if self._rng.random() < config.hot_jump_probability:
+            self._scan_position = self._rng.randrange(
+                config.hot_window_segments)
+        else:
+            self._scan_position = (self._scan_position + 1) \
+                % config.hot_window_segments
+        if self._rng.random() < config.hot_window_drift:
+            self._window_start = (self._window_start + 1) % config.hot_segments
+
+        segment = (self._window_start + self._scan_position) \
+            % config.hot_segments
+        blocks_per_segment = config.hot_segment_bytes // config.block_size_bytes
+        burst = min(config.hot_burst_blocks, blocks_per_segment)
+        self._burst_segment = segment
+        self._burst_block = self._rng.randrange(
+            max(1, blocks_per_segment - burst + 1))
+        self._burst_remaining = burst
+
+    def _next_hot_address(self) -> int:
+        config = self._config
+        if self._burst_remaining <= 0:
+            self._begin_segment_visit()
+        address = (self._hot_segment_bases[self._burst_segment]
+                   + self._burst_block * config.block_size_bytes)
+        self._burst_block += 1
+        self._burst_remaining -= 1
+        return address
+
+    # ------------------------------------------------------------------
+    # Streaming component.
+    # ------------------------------------------------------------------
+    def _next_stream_address(self) -> int:
+        config = self._config
+        stream = self._streams[self._next_stream]
+        self._next_stream = (self._next_stream + 1) % len(self._streams)
+        if stream[1] >= config.stream_length_blocks:
+            stream[0] = self._new_stream()[0]
+            stream[1] = 0
+        blocks = config.working_set_bytes // config.block_size_bytes
+        block = (stream[0] + stream[1]) % blocks
+        stream[1] += 1
+        return config.base_address + block * config.block_size_bytes
+
+    # ------------------------------------------------------------------
+    # Random component.
+    # ------------------------------------------------------------------
+    def _next_random_address(self) -> int:
+        config = self._config
+        blocks = config.working_set_bytes // config.block_size_bytes
+        return config.base_address \
+            + self._rng.randrange(blocks) * config.block_size_bytes
+
+    # ------------------------------------------------------------------
+    # Trace generation.
+    # ------------------------------------------------------------------
+    def _next_address(self) -> int:
+        draw = self._rng.random()
+        config = self._config
+        if draw < config.hot_fraction:
+            return self._next_hot_address()
+        if draw < config.hot_fraction + config.stream_fraction:
+            return self._next_stream_address()
+        return self._next_random_address()
+
+    def _next_bubbles(self) -> int:
+        mean = self._config.mean_bubbles
+        if mean <= 0:
+            return 0
+        # An exponential draw keeps the bubble counts integral and
+        # non-negative while matching the requested mean; the cap avoids
+        # pathological multi-million-instruction gaps.
+        return min(int(self._rng.expovariate(1.0 / mean)), int(mean * 10))
+
+    def generate(self, num_records: int) -> list[TraceRecord]:
+        """Generate ``num_records`` trace records."""
+        if num_records < 0:
+            raise ValueError("num_records must be non-negative")
+        records = []
+        for _ in range(num_records):
+            records.append(TraceRecord(
+                bubbles=self._next_bubbles(),
+                address=self._next_address(),
+                is_write=self._rng.random() < self._config.write_fraction))
+        return records

@@ -1,0 +1,64 @@
+"""Trace record format and helpers.
+
+A trace is a list of :class:`TraceRecord` entries.  Each record represents a
+burst of ``bubbles`` non-memory instructions followed by exactly one memory
+instruction (a load or a store to ``address``).  This is the usual compact
+format for memory-system studies: the non-memory instructions only matter
+for their issue bandwidth, so they do not need individual records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory instruction preceded by a burst of non-memory work."""
+
+    #: Number of non-memory instructions issued before the memory access.
+    bubbles: int
+    #: Byte address touched by the memory instruction.
+    address: int
+    #: True for stores, False for loads.
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.bubbles < 0:
+            raise ValueError("bubbles must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions represented by this record (bubbles + the access)."""
+        return self.bubbles + 1
+
+
+def trace_statistics(trace: list[TraceRecord],
+                     block_size_bytes: int = 64,
+                     row_size_bytes: int = 8192) -> dict:
+    """Summarise a trace: instruction counts, footprint, and write share.
+
+    The returned dictionary is used by tests and by the workload catalog to
+    check that generated traces land in the intended memory-intensity
+    category.
+    """
+    if block_size_bytes <= 0 or row_size_bytes <= 0:
+        raise ValueError("block and row sizes must be positive")
+    instructions = sum(record.instructions for record in trace)
+    memory_accesses = len(trace)
+    writes = sum(1 for record in trace if record.is_write)
+    blocks = {record.address // block_size_bytes for record in trace}
+    rows = {record.address // row_size_bytes for record in trace}
+    return {
+        "instructions": instructions,
+        "memory_accesses": memory_accesses,
+        "writes": writes,
+        "write_fraction": writes / memory_accesses if memory_accesses else 0.0,
+        "accesses_per_kilo_instruction": (
+            1000.0 * memory_accesses / instructions if instructions else 0.0),
+        "unique_blocks": len(blocks),
+        "unique_rows": len(rows),
+        "footprint_bytes": len(blocks) * block_size_bytes,
+    }

@@ -1,0 +1,213 @@
+"""Tests for the energy models, the RELOC circuit analysis, and the
+hardware-overhead accounting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OverheadModel
+from repro.circuit import (BitlineParams, ChargeSharingModel,
+                           analyze_reloc_timing)
+from repro.dram import CommandCounters, DRAMConfig
+from repro.energy import (DRAMEnergyModel, DRAMEnergyParams,
+                          SystemEnergyModel, SystemEnergyParams)
+from repro.energy.system_energy import SystemActivity
+
+
+def counters(activates=0, reads=0, writes=0, relocs=0, refreshes=0,
+             fast_activates=0):
+    result = CommandCounters()
+    result.activates = activates
+    result.fast_activates = fast_activates
+    result.reads = reads
+    result.writes = writes
+    result.relocs = relocs
+    result.refreshes = refreshes
+    return result
+
+
+# ----------------------------------------------------------------------
+# DRAM energy.
+# ----------------------------------------------------------------------
+class TestDRAMEnergy:
+    def test_zero_activity_only_background(self):
+        model = DRAMEnergyModel()
+        breakdown = model.energy(counters(), elapsed_ns=1000.0)
+        assert breakdown.activation_nj == 0
+        assert breakdown.background_nj > 0
+        assert breakdown.total_nj == pytest.approx(breakdown.background_nj)
+
+    def test_commands_add_energy_linearly(self):
+        model = DRAMEnergyModel()
+        one = model.energy(counters(activates=1, reads=1), 0.0)
+        two = model.energy(counters(activates=2, reads=2), 0.0)
+        assert two.total_nj == pytest.approx(2 * one.total_nj)
+
+    def test_fast_activations_cost_less(self):
+        model = DRAMEnergyModel()
+        slow = model.energy(counters(activates=10), 0.0)
+        fast = model.energy(counters(activates=10, fast_activates=10), 0.0)
+        assert fast.activation_nj < slow.activation_nj
+
+    def test_relocation_energy_close_to_paper_estimate(self):
+        model = DRAMEnergyModel()
+        energy_uj = model.relocation_energy_uj(1)
+        assert 0.01 <= energy_uj <= 0.06  # the paper estimates 0.03 uJ
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMEnergyParams(read_nj=-1.0).validate()
+        with pytest.raises(ValueError):
+            DRAMEnergyParams(fast_act_pre_scale=0.0).validate()
+
+    def test_negative_elapsed_rejected(self):
+        model = DRAMEnergyModel()
+        with pytest.raises(ValueError):
+            model.energy(counters(), -1.0)
+
+    @given(st.integers(0, 10000), st.integers(0, 10000))
+    @settings(max_examples=30, deadline=None)
+    def test_total_is_sum_of_components(self, reads, writes):
+        model = DRAMEnergyModel()
+        breakdown = model.energy(counters(reads=reads, writes=writes), 500.0)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.activation_nj + breakdown.read_nj + breakdown.write_nj
+            + breakdown.reloc_nj + breakdown.refresh_nj
+            + breakdown.background_nj)
+
+
+# ----------------------------------------------------------------------
+# System energy.
+# ----------------------------------------------------------------------
+def activity(elapsed_ns=1e6, instructions=100000, has_tag_store=False):
+    return SystemActivity(elapsed_ns=elapsed_ns, num_cores=1, num_channels=1,
+                          instructions=instructions, l1l2_accesses=50000,
+                          llc_accesses=10000, offchip_blocks=5000,
+                          dram_counters=counters(activates=2000, reads=4000,
+                                                 writes=1000),
+                          has_tag_store=has_tag_store)
+
+
+class TestSystemEnergy:
+    def test_breakdown_components_positive(self):
+        model = SystemEnergyModel()
+        breakdown = model.energy(activity())
+        for value in (breakdown.cpu_nj, breakdown.l1l2_nj, breakdown.llc_nj,
+                      breakdown.offchip_nj, breakdown.dram_nj):
+            assert value > 0
+
+    def test_shorter_runtime_reduces_static_energy(self):
+        model = SystemEnergyModel()
+        long_run = model.energy(activity(elapsed_ns=2e6))
+        short_run = model.energy(activity(elapsed_ns=1e6))
+        assert short_run.total_nj < long_run.total_nj
+
+    def test_tag_store_adds_small_energy(self):
+        model = SystemEnergyModel()
+        without = model.energy(activity(has_tag_store=False))
+        with_fts = model.energy(activity(has_tag_store=True))
+        assert with_fts.llc_nj > without.llc_nj
+        assert (with_fts.total_nj - without.total_nj) / without.total_nj < 0.01
+
+    def test_normalisation_to_baseline(self):
+        model = SystemEnergyModel()
+        base = model.energy(activity(elapsed_ns=2e6))
+        improved = model.energy(activity(elapsed_ns=1.5e6))
+        normalized = improved.normalized_to(base)
+        assert normalized["Total"] < 1.0
+        assert set(normalized) == {"CPU", "L1&L2", "LLC", "Off-Chip", "DRAM",
+                                   "Total"}
+
+
+# ----------------------------------------------------------------------
+# Circuit-level RELOC analysis.
+# ----------------------------------------------------------------------
+class TestChargeSharingModel:
+    def test_nominal_latency_is_sub_nanosecond(self):
+        phases = ChargeSharingModel().simulate()
+        assert 0.2 < phases.total_ns < 1.0
+
+    def test_phases_are_positive(self):
+        phases = ChargeSharingModel().simulate()
+        assert phases.charge_sharing_ns > 0
+        assert phases.sensing_ns > 0
+        assert phases.restore_ns > 0
+
+    def test_weak_grb_fails_to_sense(self):
+        params = BitlineParams(local_bitline_cap=1e-15,
+                               sense_threshold=0.6)
+        phases = ChargeSharingModel(params).simulate()
+        assert math.isinf(phases.total_ns)
+
+    def test_monte_carlo_is_deterministic(self):
+        model = ChargeSharingModel()
+        a = model.monte_carlo(50, seed=3)
+        b = model.monte_carlo(50, seed=3)
+        assert [p.total_ns for p in a] == [p.total_ns for p in b]
+
+    def test_monte_carlo_requires_positive_iterations(self):
+        with pytest.raises(ValueError):
+            ChargeSharingModel().monte_carlo(0)
+
+
+class TestRelocTimingAnalysis:
+    def test_matches_paper_figures(self):
+        analysis = analyze_reloc_timing(iterations=800)
+        assert 0.4 < analysis.worst_case_latency_ns < 0.75
+        assert analysis.guardbanded_latency_ns == pytest.approx(1.0)
+        assert analysis.end_to_end_block_ns == pytest.approx(63.5, abs=1.0)
+        assert analysis.success_rate == 1.0
+
+    def test_guardband_applied(self):
+        analysis = analyze_reloc_timing(iterations=200, guardband=0.43)
+        assert analysis.guardbanded_latency_ns >= \
+            analysis.worst_case_latency_ns * 1.43 - 0.25
+
+    def test_open_row_path_is_cheaper(self):
+        analysis = analyze_reloc_timing(iterations=200)
+        assert analysis.end_to_end_block_open_row_ns < \
+            analysis.end_to_end_block_ns
+
+
+# ----------------------------------------------------------------------
+# Hardware overhead (Section 8.3).
+# ----------------------------------------------------------------------
+class TestOverheadModel:
+    def test_chip_area_fractions_match_paper(self):
+        model = OverheadModel()
+        areas = model.mechanism_overheads(DRAMConfig())
+        assert areas["FIGARO"] < 0.003            # paper: < 0.3 %
+        assert areas["FIGCache-Fast"] == pytest.approx(0.007, abs=0.001)
+        assert areas["FIGCache-Slow"] == pytest.approx(0.002, abs=0.0005)
+        assert areas["LISA-VILLA"] == pytest.approx(0.056, abs=0.002)
+
+    def test_lisa_villa_costs_8x_figcache_fast(self):
+        model = OverheadModel()
+        areas = model.mechanism_overheads(DRAMConfig())
+        assert areas["LISA-VILLA"] / areas["FIGCache-Fast"] == \
+            pytest.approx(8.0, rel=0.01)
+
+    def test_fts_storage_matches_paper(self):
+        model = OverheadModel()
+        fts = model.fts_overhead(DRAMConfig())
+        assert fts.bits_per_entry == 26
+        assert fts.entries_per_bank == 512
+        assert fts.storage_kb_per_channel == pytest.approx(26.0)
+        assert fts.area_mm2 == pytest.approx(0.496, abs=0.02)
+        assert fts.area_fraction_of_llc == pytest.approx(0.0144, abs=0.001)
+        assert fts.power_mw == pytest.approx(0.187, abs=0.01)
+
+    def test_larger_cache_needs_more_fts_storage(self):
+        model = OverheadModel()
+        small = model.fts_overhead(DRAMConfig(), cache_rows_per_bank=64)
+        large = model.fts_overhead(DRAMConfig(), cache_rows_per_bank=128)
+        assert large.storage_kb_per_channel > small.storage_kb_per_channel
+
+    def test_figaro_overhead_scales_with_subarrays(self):
+        model = OverheadModel()
+        few = model.figaro_overhead(DRAMConfig(subarrays_per_bank=32))
+        many = model.figaro_overhead(DRAMConfig(subarrays_per_bank=64))
+        assert many.peripheral_area_um2_per_bank > \
+            few.peripheral_area_um2_per_bank

@@ -1,0 +1,184 @@
+"""Tests for the trace format, synthetic generators, and workload catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (BENCHMARKS, SyntheticTraceGenerator, TraceRecord,
+                             benchmark_names, get_benchmark,
+                             intensive_benchmarks, make_workload_suite,
+                             make_multiprogrammed_workload,
+                             non_intensive_benchmarks, trace_statistics)
+from repro.workloads.catalog import MULTITHREADED_BENCHMARKS
+from repro.workloads.multiprogram import (CORE_ADDRESS_STRIDE,
+                                          make_multithreaded_workload)
+from repro.workloads.synthetic import SyntheticTraceConfig
+
+
+class TestTraceRecord:
+    def test_instruction_count(self):
+        record = TraceRecord(bubbles=9, address=64, is_write=False)
+        assert record.instructions == 10
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            TraceRecord(bubbles=-1, address=0, is_write=False)
+        with pytest.raises(ValueError):
+            TraceRecord(bubbles=0, address=-64, is_write=False)
+
+    def test_statistics(self):
+        trace = [TraceRecord(9, 0, False), TraceRecord(9, 64, True),
+                 TraceRecord(9, 0, False)]
+        stats = trace_statistics(trace)
+        assert stats["instructions"] == 30
+        assert stats["memory_accesses"] == 3
+        assert stats["write_fraction"] == pytest.approx(1 / 3)
+        assert stats["unique_blocks"] == 2
+        assert stats["accesses_per_kilo_instruction"] == pytest.approx(100.0)
+
+
+class TestSyntheticGenerator:
+    def test_determinism_given_seed(self):
+        config = SyntheticTraceConfig(seed=5)
+        a = SyntheticTraceGenerator(config).generate(500)
+        b = SyntheticTraceGenerator(config).generate(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticTraceGenerator(SyntheticTraceConfig(seed=1)).generate(200)
+        b = SyntheticTraceGenerator(SyntheticTraceConfig(seed=2)).generate(200)
+        assert a != b
+
+    def test_addresses_are_block_aligned_and_in_range(self):
+        config = SyntheticTraceConfig(seed=3, base_address=1 << 32)
+        trace = SyntheticTraceGenerator(config).generate(1000)
+        for record in trace:
+            assert record.address % config.block_size_bytes == 0
+            assert record.address >= config.base_address
+
+    def test_write_fraction_close_to_target(self):
+        config = SyntheticTraceConfig(seed=4, write_fraction=0.3)
+        trace = SyntheticTraceGenerator(config).generate(4000)
+        stats = trace_statistics(trace)
+        assert abs(stats["write_fraction"] - 0.3) < 0.05
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(hot_fraction=0.5, stream_fraction=0.2,
+                                 random_fraction=0.2).validate()
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(hot_window_segments=0).validate()
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(hot_window_segments=100,
+                                 hot_segments=50).validate()
+
+    def test_hot_only_trace_touches_window_sized_footprint(self):
+        config = SyntheticTraceConfig(seed=7, hot_fraction=1.0,
+                                      stream_fraction=0.0,
+                                      random_fraction=0.0,
+                                      hot_window_segments=64,
+                                      hot_window_drift=0.0,
+                                      hot_jump_probability=0.0)
+        trace = SyntheticTraceGenerator(config).generate(4000)
+        stats = trace_statistics(trace, row_size_bytes=config.row_size_bytes)
+        # The footprint should be close to the window size (64 segments of
+        # 1 kB), certainly well below the full pool.
+        assert stats["footprint_bytes"] <= 80 * 1024
+
+    def test_mean_bubbles_controls_intensity(self):
+        sparse = SyntheticTraceConfig(seed=8, mean_bubbles=300.0)
+        dense = SyntheticTraceConfig(seed=8, mean_bubbles=20.0)
+        sparse_stats = trace_statistics(
+            SyntheticTraceGenerator(sparse).generate(2000))
+        dense_stats = trace_statistics(
+            SyntheticTraceGenerator(dense).generate(2000))
+        assert dense_stats["accesses_per_kilo_instruction"] > \
+            3 * sparse_stats["accesses_per_kilo_instruction"]
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_generate_length(self, n):
+        trace = SyntheticTraceGenerator(SyntheticTraceConfig(seed=1)).generate(n)
+        assert len(trace) == n
+
+
+class TestCatalog:
+    def test_twenty_single_thread_benchmarks(self):
+        assert len(BENCHMARKS) == 20
+        assert len(intensive_benchmarks()) == 10
+        assert len(non_intensive_benchmarks()) == 10
+
+    def test_three_multithreaded_benchmarks(self):
+        assert set(MULTITHREADED_BENCHMARKS) == {"canneal", "fluidanimate",
+                                                 "radix"}
+
+    def test_benchmark_names_filtering(self):
+        assert set(benchmark_names(True)) == {
+            spec.name for spec in intensive_benchmarks()}
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("does-not-exist")
+
+    def test_intensive_profiles_generate_more_traffic(self):
+        intensive = get_benchmark("lbm").make_trace(2000)
+        non_intensive = get_benchmark("gromacs").make_trace(2000)
+        dense = trace_statistics(intensive)
+        sparse = trace_statistics(non_intensive)
+        assert dense["accesses_per_kilo_instruction"] > \
+            sparse["accesses_per_kilo_instruction"]
+
+    def test_every_profile_validates(self):
+        for spec in list(BENCHMARKS.values()) \
+                + list(MULTITHREADED_BENCHMARKS.values()):
+            spec.trace_config.validate()
+
+    def test_make_trace_relocation_and_seed_offset(self):
+        spec = get_benchmark("mcf")
+        base = spec.make_trace(100)
+        moved = spec.make_trace(100, seed_offset=3, base_address=1 << 33)
+        assert all(record.address >= 1 << 33 for record in moved)
+        assert [r.address for r in moved] != [r.address for r in base]
+
+
+class TestMultiprogrammed:
+    def test_suite_has_four_categories(self):
+        suite = make_workload_suite(mixes_per_category=2)
+        assert len(suite) == 8
+        fractions = sorted({workload.intensive_fraction for workload in suite})
+        assert fractions == [0.25, 0.50, 0.75, 1.00]
+
+    def test_mix_respects_intensive_fraction(self):
+        workload = make_multiprogrammed_workload(0.75, 0, num_cores=8)
+        intensive = sum(1 for spec in workload.benchmarks
+                        if spec.memory_intensive)
+        assert intensive == 6
+
+    def test_mix_is_deterministic(self):
+        a = make_multiprogrammed_workload(0.5, 1)
+        b = make_multiprogrammed_workload(0.5, 1)
+        assert [s.name for s in a.benchmarks] == [s.name for s in b.benchmarks]
+
+    def test_traces_use_disjoint_address_slices(self):
+        workload = make_multiprogrammed_workload(1.0, 0, num_cores=4)
+        traces = workload.make_traces(200)
+        for core_id, trace in enumerate(traces):
+            low = core_id * CORE_ADDRESS_STRIDE
+            high = (core_id + 1) * CORE_ADDRESS_STRIDE
+            assert all(low <= record.address < high for record in trace)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_multiprogrammed_workload(1.5, 0)
+
+    def test_multithreaded_workload_shares_address_space(self):
+        workload = make_multithreaded_workload("canneal", num_cores=4)
+        traces = workload.make_traces(200)
+        assert workload.shared_address_space
+        for trace in traces:
+            assert all(record.address < CORE_ADDRESS_STRIDE
+                       for record in trace)
+
+    def test_unknown_multithreaded_name(self):
+        with pytest.raises(KeyError):
+            make_multithreaded_workload("nonexistent")
