@@ -1,4 +1,4 @@
-"""Shared scale and printing helpers for the benchmark harness.
+"""Shared scale, cache isolation, and printing helpers for the benchmarks.
 
 Every benchmark regenerates one of the paper's tables or figures at a
 reduced scale (see DESIGN.md / EXPERIMENTS.md for the scaling notes) and
@@ -7,15 +7,30 @@ prints the resulting rows so the numbers can be compared with the paper.
 
 import pytest
 
-from repro.experiments import ExperimentScale, format_table
+from repro.experiments import ExperimentScale, format_table, engine
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_result_cache():
+    """Give every benchmark module a fresh, memory-only experiment engine.
+
+    An explicitly memory-only executor (cache_dir=None) guarantees one
+    figure module can never observe — or be timed against — results cached
+    by another, even when ``REPRO_CACHE_DIR`` points at a warm persistent
+    cache in the surrounding environment.  Within a module, jobs still
+    share the cache, which is what the figure runners rely on.  The
+    teardown restores the environment-configured default for whatever runs
+    after the harness.
+    """
+    engine.configure(cache_dir=None)
+    yield
+    engine.reset()
 
 
 @pytest.fixture(scope="session")
 def bench_scale():
     """Scale used by the simulation-driven benchmarks."""
-    return ExperimentScale(single_core_records=6000, multicore_records=1500,
-                           num_cores=8, multicore_channels=4,
-                           mixes_per_category=1, benchmarks_per_class=2)
+    return ExperimentScale.bench()
 
 
 def report(data):

@@ -16,7 +16,11 @@ The package is organised as:
 * :mod:`repro.analysis` -- hardware (area/power/storage) overhead models.
 * :mod:`repro.sim` -- system assembly, the event-driven simulation loop, and
   result metrics.
-* :mod:`repro.experiments` -- one runner per paper table/figure.
+* :mod:`repro.experiments` -- declarative runners, one per paper
+  table/figure, on top of the experiment engine
+  (:mod:`repro.experiments.engine`): parallel job execution plus a
+  persistent content-addressed result cache.  ``python -m repro`` runs
+  them from the command line (see ``docs/experiments.md``).
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,221 @@
+"""Command-line interface: run the paper's experiments outside pytest.
+
+``python -m repro`` exposes the experiment engine directly:
+
+* ``run-figure N``  — regenerate one of Figures 7–15.
+* ``run-static NAME`` — regenerate a table/section study (table1, table2,
+  reloc-timing, overhead, rowhammer).
+* ``sweep``         — a design-space sweep over FIGCache knobs (cross
+  product of segment sizes and cache capacities).
+* ``cache stats`` / ``cache clear`` — inspect or wipe the persistent
+  result cache.
+* ``list``          — show every runnable experiment.
+
+``--jobs N`` fans independent simulations across N worker processes;
+``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
+persists results so re-runs are incremental.  Serial and parallel runs
+produce bit-identical tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import engine
+from repro.experiments.engine import default_cache_dir
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import (ExperimentScale, format_table,
+                                      geometric_mean, multicore_suite)
+from repro.experiments.static import STATIC_EXPERIMENTS
+
+#: Named experiment scales selectable with ``--scale``.
+SCALES = {
+    "tiny": ExperimentScale.tiny,
+    "smoke": ExperimentScale.smoke,
+    "bench": ExperimentScale.bench,
+    "paper": ExperimentScale,
+}
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro; "
+                             "'none' disables persistence)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="paper",
+                        help="experiment scale (default: paper)")
+
+
+def _configure_engine(args) -> "engine.JobExecutor":
+    if args.cache_dir == "none":
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = str(default_cache_dir())
+    return engine.configure(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _report(data: dict, executor, elapsed_s: float) -> None:
+    title = data.get("figure") or data.get("table") or data.get("section")
+    print(format_table(f"{title}: {data.get('metric', '')}",
+                       data["columns"], data["rows"]))
+    print(f"\n{executor.simulations_executed} simulations executed, "
+          f"{executor.cache_hits} cache hits, "
+          f"{executor.jobs} worker(s), {elapsed_s:.1f}s")
+
+
+def _cmd_run_figure(args) -> int:
+    executor = _configure_engine(args)
+    runner = FIGURES[args.figure]
+    start = time.perf_counter()
+    data = runner(SCALES[args.scale]())
+    _report(data, executor, time.perf_counter() - start)
+    return 0
+
+
+def _cmd_run_static(args) -> int:
+    executor = _configure_engine(args)
+    runner = STATIC_EXPERIMENTS[args.name]
+    start = time.perf_counter()
+    if args.name == "rowhammer":
+        data = runner(SCALES[args.scale]())
+    else:
+        data = runner()
+    _report(data, executor, time.perf_counter() - start)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.engine import SimJob
+
+    if not args.segment_blocks or not args.cache_rows:
+        raise ValueError("sweep needs at least one segment size and one "
+                         "cache capacity")
+    executor = _configure_engine(args)
+    scale = SCALES[args.scale]()
+    suite = multicore_suite(scale)
+    start = time.perf_counter()
+
+    jobs = {("Base", workload.name): SimJob.multicore("Base", workload, scale)
+            for workload in suite}
+    points = [(blocks, rows) for blocks in args.segment_blocks
+              for rows in args.cache_rows]
+    for blocks, rows in points:
+        for workload in suite:
+            jobs[((blocks, rows), workload.name)] = SimJob.multicore(
+                "FIGCache-Fast", workload, scale, segment_blocks=blocks,
+                cache_rows_per_bank=rows)
+    results = executor.run(jobs.values())
+
+    table_rows = []
+    for blocks, rows in points:
+        speedups = []
+        for workload in suite:
+            base = results[jobs[("Base", workload.name)]]
+            other = results[jobs[((blocks, rows), workload.name)]]
+            speedups.append(other.ipc_sum / base.ipc_sum)
+        size = blocks * 64
+        label = f"{size}B" if size < 1024 else f"{size // 1024}kB"
+        table_rows.append([label, rows, geometric_mean(speedups)])
+    data = {
+        "figure": "Design-space sweep",
+        "metric": "FIGCache-Fast weighted speedup over Base "
+                  "(geomean over the multiprogrammed suite)",
+        "columns": ["segment_size", "cache_rows_per_bank", "speedup"],
+        "rows": table_rows,
+    }
+    _report(data, executor, time.perf_counter() - start)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = str(default_cache_dir())
+    cache = engine.ResultCache(None if cache_dir == "none" else cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.directory}")
+    else:
+        stats = cache.stats()
+        print(f"cache directory : {cache.directory}")
+        print(f"disk entries    : {stats.disk_entries}")
+        print(f"disk bytes      : {stats.disk_bytes}")
+        print(f"salt            : {engine.cache_salt()}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    del args
+    print("figures (run-figure N):")
+    for number, runner in sorted(FIGURES.items()):
+        print(f"  {number:>2d}  {runner.__doc__.splitlines()[0]}")
+    print("static experiments (run-static NAME):")
+    for name, runner in STATIC_EXPERIMENTS.items():
+        print(f"  {name:<12s}  {runner.__doc__.splitlines()[0]}")
+    return 0
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(item) for item in text.split(",") if item]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the FIGARO/FIGCache reproduction experiments "
+                    "through the parallel, cached experiment engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("run-figure",
+                            help="regenerate one of the paper's figures")
+    figure.add_argument("figure", type=int, choices=sorted(FIGURES))
+    _add_engine_arguments(figure)
+    figure.set_defaults(func=_cmd_run_figure)
+
+    static = sub.add_parser("run-static",
+                            help="regenerate a table/section study")
+    static.add_argument("name", choices=list(STATIC_EXPERIMENTS))
+    _add_engine_arguments(static)
+    static.set_defaults(func=_cmd_run_static)
+
+    sweep = sub.add_parser("sweep",
+                           help="design-space sweep: segment size x "
+                                "in-DRAM cache capacity")
+    sweep.add_argument("--segment-blocks", type=_int_list,
+                       default=[8, 16, 32], metavar="B1,B2,...",
+                       help="segment sizes in 64 B blocks (default 8,16,32)")
+    sweep.add_argument("--cache-rows", type=_int_list,
+                       default=[32, 64, 128], metavar="R1,R2,...",
+                       help="cache rows per bank (default 32,64,128)")
+    _add_engine_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="persistent result cache tools")
+    cache.add_argument("cache_command", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache.set_defaults(func=_cmd_cache)
+
+    listing = sub.add_parser("list", help="list runnable experiments")
+    listing.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -89,6 +89,57 @@ class CommandCounters:
             return 0.0
         return self.row_hits / total
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the persistent result cache).
+
+        ``row_activation_counts`` keys are ``(bank_key, row)`` tuples, which
+        JSON cannot represent directly; they are flattened to
+        ``[[*bank_key], row, count]`` triples and rebuilt by
+        :meth:`from_dict`.
+        """
+        return {
+            "activates": self.activates,
+            "precharges": self.precharges,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "relocs": self.relocs,
+            "fast_activates": self.fast_activates,
+            "fast_reads": self.fast_reads,
+            "fast_writes": self.fast_writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "track_row_activations": self.track_row_activations,
+            "row_activation_counts": [
+                [list(bank_key), row, count]
+                for (bank_key, row), count
+                in sorted(self.row_activation_counts.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CommandCounters":
+        """Rebuild counters from :meth:`to_dict` output."""
+        counts = {(tuple(bank_key), row): count
+                  for bank_key, row, count
+                  in data.get("row_activation_counts", [])}
+        return cls(
+            activates=data["activates"],
+            precharges=data["precharges"],
+            reads=data["reads"],
+            writes=data["writes"],
+            refreshes=data["refreshes"],
+            relocs=data["relocs"],
+            fast_activates=data["fast_activates"],
+            fast_reads=data["fast_reads"],
+            fast_writes=data["fast_writes"],
+            row_hits=data["row_hits"],
+            row_misses=data["row_misses"],
+            row_conflicts=data["row_conflicts"],
+            track_row_activations=data.get("track_row_activations", False),
+            row_activation_counts=counts,
+        )
+
     def merge(self, other: "CommandCounters") -> None:
         """Accumulate another counter set into this one."""
         self.activates += other.activates

@@ -86,6 +86,23 @@ class SystemEnergyBreakdown:
         return (self.cpu_nj + self.l1l2_nj + self.llc_nj + self.offchip_nj
                 + self.dram_nj)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the persistent result cache)."""
+        return {
+            "cpu_nj": self.cpu_nj,
+            "l1l2_nj": self.l1l2_nj,
+            "llc_nj": self.llc_nj,
+            "offchip_nj": self.offchip_nj,
+            "dram_nj": self.dram_nj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemEnergyBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(cpu_nj=data["cpu_nj"], l1l2_nj=data["l1l2_nj"],
+                   llc_nj=data["llc_nj"], offchip_nj=data["offchip_nj"],
+                   dram_nj=data["dram_nj"])
+
     def normalized_to(self, baseline: "SystemEnergyBreakdown") -> dict:
         """Per-component energy normalised to a baseline's total."""
         total = baseline.total_nj

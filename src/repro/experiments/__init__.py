@@ -1,16 +1,37 @@
-"""Experiment runners: one per table/figure of the paper's evaluation.
+"""Experiment definitions and the engine that runs them.
+
+The package splits into a declarative layer and an execution layer:
+
+* :mod:`repro.experiments.engine` — the experiment engine:
+  :class:`SimJob` specs with content-addressed keys, a persistent
+  :class:`ResultCache`, and a :class:`JobExecutor` that fans independent
+  simulations across worker processes (``REPRO_JOBS``/``--jobs``) with a
+  deterministic serial fallback.
+* :mod:`repro.experiments.figures` — one declarative runner per paper
+  figure (7–15); each enumerates its job batch and submits it to the
+  engine in one call.
+* :mod:`repro.experiments.static` — the analytical experiments (Tables
+  1–2, RELOC timing, hardware overheads, the RowHammer-style study).
+* :mod:`repro.experiments.runner` — shared helpers (benchmark lists,
+  workload suites, geometric mean, table formatting) plus single-job
+  conveniences ``run_single_core``/``run_multicore``.
 
 Every runner returns a plain dictionary (rows/series) that the benchmark
-harness prints, so the same code regenerates the paper's tables and figures
-at any scale.  ``ExperimentScale`` controls how much work each runner does;
-the defaults keep the full suite runnable on a laptop in minutes, and the
-benchmarks use an even smaller scale so CI stays fast.
+harness and the ``python -m repro`` CLI print, so the same code
+regenerates the paper's tables and figures at any scale.
+``ExperimentScale`` controls how much work each runner does; the defaults
+keep the full suite runnable on a laptop in minutes, and the benchmarks
+use an even smaller scale so CI stays fast.
 """
 
-from repro.experiments.runner import (ExperimentScale, format_table,
-                                      run_configuration, run_single_core,
-                                      run_multicore)
-from repro.experiments.figures import (figure7_single_core,
+from repro.experiments.engine import (JobExecutor, ResultCache, SimJob,
+                                      configure, get_executor, reset)
+from repro.experiments.runner import (ExperimentScale, clear_cache,
+                                      format_table, geometric_mean,
+                                      run_configuration, run_multicore,
+                                      run_single_core)
+from repro.experiments.figures import (FIGURES,
+                                       figure7_single_core,
                                        figure8_multicore,
                                        figure9_cache_hit_rate,
                                        figure10_row_buffer_hit_rate,
@@ -19,7 +40,8 @@ from repro.experiments.figures import (figure7_single_core,
                                        figure13_segment_size,
                                        figure14_replacement_policy,
                                        figure15_insertion_threshold)
-from repro.experiments.static import (rowhammer_activation_study,
+from repro.experiments.static import (STATIC_EXPERIMENTS,
+                                      rowhammer_activation_study,
                                       section42_reloc_timing,
                                       section83_overhead,
                                       table1_configuration,
@@ -27,6 +49,13 @@ from repro.experiments.static import (rowhammer_activation_study,
 
 __all__ = [
     "ExperimentScale",
+    "FIGURES",
+    "JobExecutor",
+    "ResultCache",
+    "STATIC_EXPERIMENTS",
+    "SimJob",
+    "clear_cache",
+    "configure",
     "figure10_row_buffer_hit_rate",
     "figure11_energy",
     "figure12_cache_capacity",
@@ -37,6 +66,9 @@ __all__ = [
     "figure8_multicore",
     "figure9_cache_hit_rate",
     "format_table",
+    "geometric_mean",
+    "get_executor",
+    "reset",
     "rowhammer_activation_study",
     "run_configuration",
     "run_multicore",

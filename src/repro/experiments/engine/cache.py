@@ -1,0 +1,145 @@
+"""Persistent, content-addressed simulation-result cache.
+
+Layout: one JSON file per result under the cache directory, named
+``<key>.json`` where ``key`` is the :meth:`SimJob.key` digest.  Each file
+records the salt (cache schema version + package version) it was written
+with; entries whose salt no longer matches are treated as misses, so a
+code upgrade invalidates stale results instead of replaying them.
+
+A :class:`ResultCache` always keeps an in-memory layer.  When constructed
+without a directory it is memory-only (the behaviour the test suite wants);
+with a directory it also persists every stored result, making repeated
+figure runs incremental across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.experiments.engine.spec import CACHE_SCHEMA_VERSION
+from repro.sim.metrics import SimulationResult
+
+#: Environment variable selecting the default persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_salt() -> str:
+    """Salt mixed into every persisted entry (schema + code version)."""
+    return f"{CACHE_SCHEMA_VERSION}:{repro.__version__}"
+
+
+def default_cache_dir() -> Path:
+    """The CLI's default persistent cache directory.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` (or
+    ``~/.cache/repro``).
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Observed traffic and current contents of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    memory_entries: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+
+
+class ResultCache:
+    """Two-level (memory + optional disk) cache of simulation results."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, SimulationResult] = {}
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    @property
+    def persistent(self) -> bool:
+        """Whether results survive the process (a directory is configured)."""
+        return self.directory is not None
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> SimulationResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        result = self._memory.get(key)
+        if result is None and self.directory is not None:
+            result = self._load(key)
+            if result is not None:
+                self._memory[key] = result
+        if result is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (memory, and disk if persistent)."""
+        self._memory[key] = result
+        self._stores += 1
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"salt": cache_salt(), "key": key,
+                   "result": result.to_dict()}
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+
+    def _load(self, key: str) -> SimulationResult | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("salt") != cache_salt():
+            return None
+        try:
+            return SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns distinct entries
+        removed (an entry present in both layers counts once)."""
+        keys = set(self._memory)
+        self._memory.clear()
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                keys.add(path.stem)
+                path.unlink(missing_ok=True)
+        return len(keys)
+
+    def stats(self) -> CacheStats:
+        """Traffic counters plus current memory/disk occupancy."""
+        stats = CacheStats(hits=self._hits, misses=self._misses,
+                           stores=self._stores,
+                           memory_entries=len(self._memory))
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                stats.disk_entries += 1
+                stats.disk_bytes += path.stat().st_size
+        return stats

@@ -1,0 +1,104 @@
+"""Parallel job execution with cache-aware batching.
+
+:class:`JobExecutor` takes batches of :class:`~repro.experiments.engine.spec.SimJob`
+descriptions, answers every job it can from the :class:`ResultCache`, and
+fans the remaining simulations across worker processes with
+``concurrent.futures.ProcessPoolExecutor``.  ``jobs=1`` (the default) is a
+deterministic serial fallback that never spawns processes, and the two
+paths are bit-identical: every simulation is seeded and self-contained, so
+only wall-clock time changes with the worker count.
+
+The worker count resolves as: explicit ``jobs=`` argument, else the
+``REPRO_JOBS`` environment variable, else 1 (serial).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.spec import SimJob
+from repro.sim.metrics import SimulationResult
+
+#: Environment variable selecting the default worker-process count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def _execute_job(job: SimJob) -> SimulationResult:
+    """Worker entry point (module-level so it pickles)."""
+    return job.run()
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the worker count from an argument or ``REPRO_JOBS``."""
+    if jobs is None:
+        jobs = int(os.environ.get(JOBS_ENV, "1"))
+    if jobs < 1:
+        raise ValueError(f"worker count must be >= 1, got {jobs}")
+    return jobs
+
+
+class JobExecutor:
+    """Runs simulation-job batches through a cache and a worker pool."""
+
+    def __init__(self, cache: ResultCache | None = None,
+                 jobs: int | None = None):
+        self.cache = cache if cache is not None else ResultCache()
+        self.jobs = resolve_jobs(jobs)
+        #: Simulations actually executed (cache misses) over the lifetime.
+        self.simulations_executed = 0
+        #: Jobs answered straight from the cache over the lifetime.
+        self.cache_hits = 0
+
+    def run(self, jobs: Iterable[SimJob]) -> dict[SimJob, SimulationResult]:
+        """Run a batch of jobs; returns one result per *distinct* job.
+
+        Duplicate jobs (equal specs) are deduplicated before execution, and
+        jobs whose content-addressed key is already cached are not run at
+        all.  Results are collected in submission order, so the returned
+        mapping — and everything derived from it — is independent of worker
+        scheduling.
+        """
+        ordered: list[tuple[SimJob, str]] = []
+        seen: set[SimJob] = set()
+        for job in jobs:
+            if job not in seen:
+                seen.add(job)
+                ordered.append((job, job.key()))
+
+        results: dict[SimJob, SimulationResult] = {}
+        pending: list[tuple[SimJob, str]] = []
+        for job, key in ordered:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                results[job] = cached
+            else:
+                pending.append((job, key))
+
+        for job, key, result in self._execute(pending):
+            self.simulations_executed += 1
+            self.cache.put(key, result)
+            results[job] = result
+        return results
+
+    def run_one(self, job: SimJob) -> SimulationResult:
+        """Run a single job through the cache (always serial)."""
+        return self.run([job])[job]
+
+    def _execute(self, pending: Sequence[tuple[SimJob, str]]):
+        """Yield ``(job, key, result)`` for every pending job, in order."""
+        if not pending:
+            return
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [(job, key, pool.submit(_execute_job, job))
+                           for job, key in pending]
+                for job, key, future in futures:
+                    yield job, key, future.result()
+        else:
+            for job, key in pending:
+                yield job, key, job.run()

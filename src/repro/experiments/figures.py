@@ -1,23 +1,55 @@
-"""Runners for the paper's Figures 7–15.
+"""Declarative runners for the paper's Figures 7–15.
+
+Every figure function is now a thin experiment definition: it enumerates
+the :class:`~repro.experiments.engine.SimJob` points its plot needs,
+submits the whole batch to the process-wide
+:class:`~repro.experiments.engine.JobExecutor` in one call (so independent
+simulations can run on parallel workers and cached points are skipped),
+and assembles the result rows from the returned mapping.
 
 Every function returns a dictionary with a ``rows`` list (one row per data
 point the paper plots) plus the metadata needed to print it.  Weighted
 speedups are normalised against the Base configuration exactly as in the
 paper; absolute values are not expected to match the paper (the traces are
-far shorter), but the ordering and trends are.
+far shorter), but the ordering and trends are.  Because job batches are
+deduplicated and content-addressed, the row values are bit-identical
+whether the batch runs serially, across N workers, or straight out of a
+warm persistent cache.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.experiments.engine import SimJob, get_executor
 from repro.experiments.runner import (DEFAULT_CONFIGURATIONS, ExperimentScale,
                                       geometric_mean, multicore_suite,
-                                      run_multicore, run_single_core,
                                       single_core_benchmarks)
 
 #: Configurations compared by the in-DRAM cache metrics figures (9 and 10).
 _CACHE_CONFIGURATIONS = ("LISA-VILLA", "FIGCache-Slow", "FIGCache-Fast")
+
+
+def _single_core_jobs(configurations, benchmarks, scale: ExperimentScale,
+                      **overrides) -> dict[tuple, SimJob]:
+    """One single-core job per (configuration, benchmark) pair."""
+    return {(configuration, benchmark):
+            SimJob.single_core(configuration, benchmark, scale, **overrides)
+            for configuration in configurations for benchmark in benchmarks}
+
+
+def _multicore_jobs(configurations, suite, scale: ExperimentScale,
+                    **overrides) -> dict[tuple, SimJob]:
+    """One multicore job per (configuration, workload) pair."""
+    return {(configuration, workload.name):
+            SimJob.multicore(configuration, workload, scale, **overrides)
+            for configuration in configurations for workload in suite}
+
+
+def _run_batch(jobs: dict[tuple, SimJob]) -> dict[tuple, object]:
+    """Submit one batch; returns results under the jobs' semantic keys."""
+    results = get_executor().run(jobs.values())
+    return {key: results[job] for key, job in jobs.items()}
 
 
 def figure7_single_core(scale: ExperimentScale | None = None,
@@ -25,16 +57,18 @@ def figure7_single_core(scale: ExperimentScale | None = None,
     """Figure 7: single-core speedup over Base per intensity class."""
     scale = scale or ExperimentScale()
     categories = single_core_benchmarks(scale)
+    benchmarks = [b for group in categories.values() for b in group]
+    wanted = dict.fromkeys(("Base",) + tuple(configurations))
+    results = _run_batch(_single_core_jobs(wanted, benchmarks, scale))
     rows = []
-    for category, benchmarks in categories.items():
+    for category, group in categories.items():
         speedups = defaultdict(list)
-        for benchmark in benchmarks:
-            base = run_single_core("Base", benchmark, scale)
-            base_ipc = base.cores[0].ipc
+        for benchmark in group:
+            base_ipc = results[("Base", benchmark)].cores[0].ipc
             for configuration in configurations:
                 if configuration == "Base":
                     continue
-                result = run_single_core(configuration, benchmark, scale)
+                result = results[(configuration, benchmark)]
                 speedups[configuration].append(result.cores[0].ipc / base_ipc)
         for configuration in configurations:
             if configuration == "Base":
@@ -49,36 +83,22 @@ def figure7_single_core(scale: ExperimentScale | None = None,
     }
 
 
-def _multicore_results(scale: ExperimentScale, configurations,
-                       **config_overrides) -> dict:
-    """Run the multiprogrammed suite; returns results[config][workload]."""
-    suite = multicore_suite(scale)
-    results: dict = {config: {} for config in configurations}
-    for workload in suite:
-        for configuration in configurations:
-            results[configuration][workload.name] = run_multicore(
-                configuration, workload, scale, **config_overrides)
-    results["_suite"] = suite
-    return results
-
-
 def figure8_multicore(scale: ExperimentScale | None = None,
                       configurations=DEFAULT_CONFIGURATIONS) -> dict:
     """Figure 8: eight-core weighted speedup over Base per intensity mix."""
     scale = scale or ExperimentScale()
-    results = _multicore_results(scale, configurations)
-    suite = results["_suite"]
+    suite = multicore_suite(scale)
+    results = _run_batch(_multicore_jobs(configurations, suite, scale))
     rows = []
-    categories = sorted({workload.intensive_fraction for workload in suite})
-    for fraction in categories:
+    for fraction in sorted({w.intensive_fraction for w in suite}):
         workloads = [w for w in suite if w.intensive_fraction == fraction]
         for configuration in configurations:
             if configuration == "Base":
                 continue
             speedups = []
             for workload in workloads:
-                base = results["Base"][workload.name]
-                other = results[configuration][workload.name]
+                base = results[("Base", workload.name)]
+                other = results[(configuration, workload.name)]
                 speedups.append(other.ipc_sum / base.ipc_sum)
             rows.append([f"{int(fraction * 100)}% intensive", configuration,
                          geometric_mean(speedups)])
@@ -93,20 +113,23 @@ def figure8_multicore(scale: ExperimentScale | None = None,
 def figure9_cache_hit_rate(scale: ExperimentScale | None = None) -> dict:
     """Figure 9: in-DRAM cache hit rate of the caching mechanisms."""
     scale = scale or ExperimentScale()
-    rows = []
     categories = single_core_benchmarks(scale)
-    for category, benchmarks in categories.items():
+    benchmarks = [b for group in categories.values() for b in group]
+    suite = multicore_suite(scale)
+    single_jobs = _single_core_jobs(_CACHE_CONFIGURATIONS, benchmarks, scale)
+    multi_jobs = _multicore_jobs(_CACHE_CONFIGURATIONS, suite, scale)
+    results = _run_batch({**single_jobs, **multi_jobs})
+    rows = []
+    for category, group in categories.items():
         for configuration in _CACHE_CONFIGURATIONS:
-            rates = [run_single_core(configuration, benchmark, scale)
-                     .in_dram_cache_hit_rate for benchmark in benchmarks]
+            rates = [results[(configuration, benchmark)]
+                     .in_dram_cache_hit_rate for benchmark in group]
             rows.append([f"1-core {category}", configuration,
                          sum(rates) / len(rates)])
-    results = _multicore_results(scale, ("Base",) + _CACHE_CONFIGURATIONS)
-    suite = results["_suite"]
     for fraction in sorted({w.intensive_fraction for w in suite}):
         workloads = [w for w in suite if w.intensive_fraction == fraction]
         for configuration in _CACHE_CONFIGURATIONS:
-            rates = [results[configuration][w.name].in_dram_cache_hit_rate
+            rates = [results[(configuration, w.name)].in_dram_cache_hit_rate
                      for w in workloads]
             rows.append([f"8-core {int(fraction * 100)}% intensive",
                          configuration, sum(rates) / len(rates)])
@@ -121,21 +144,24 @@ def figure9_cache_hit_rate(scale: ExperimentScale | None = None) -> dict:
 def figure10_row_buffer_hit_rate(scale: ExperimentScale | None = None) -> dict:
     """Figure 10: DRAM row-buffer hit rate of the caching mechanisms."""
     scale = scale or ExperimentScale()
-    rows = []
-    categories = single_core_benchmarks(scale)
     configurations = ("Base",) + _CACHE_CONFIGURATIONS
-    for category, benchmarks in categories.items():
+    categories = single_core_benchmarks(scale)
+    benchmarks = [b for group in categories.values() for b in group]
+    suite = multicore_suite(scale)
+    results = _run_batch({
+        **_single_core_jobs(configurations, benchmarks, scale),
+        **_multicore_jobs(configurations, suite, scale)})
+    rows = []
+    for category, group in categories.items():
         for configuration in configurations:
-            rates = [run_single_core(configuration, benchmark, scale)
-                     .row_buffer_hit_rate for benchmark in benchmarks]
+            rates = [results[(configuration, benchmark)].row_buffer_hit_rate
+                     for benchmark in group]
             rows.append([f"1-core {category}", configuration,
                          sum(rates) / len(rates)])
-    results = _multicore_results(scale, configurations)
-    suite = results["_suite"]
     for fraction in sorted({w.intensive_fraction for w in suite}):
         workloads = [w for w in suite if w.intensive_fraction == fraction]
         for configuration in configurations:
-            rates = [results[configuration][w.name].row_buffer_hit_rate
+            rates = [results[(configuration, w.name)].row_buffer_hit_rate
                      for w in workloads]
             rows.append([f"8-core {int(fraction * 100)}% intensive",
                          configuration, sum(rates) / len(rates)])
@@ -151,38 +177,40 @@ def figure11_energy(scale: ExperimentScale | None = None) -> dict:
     """Figure 11: system energy breakdown normalised to Base."""
     scale = scale or ExperimentScale()
     configurations = ("Base", "FIGCache-Slow", "FIGCache-Fast")
-    rows = []
     categories = single_core_benchmarks(scale)
-    for category, benchmarks in categories.items():
+    benchmarks = [b for group in categories.values() for b in group]
+    suite = multicore_suite(scale)
+    results = _run_batch({
+        **_single_core_jobs(configurations, benchmarks, scale),
+        **_multicore_jobs(configurations, suite, scale)})
+
+    def energy_row(label, configuration, pairs):
+        """pairs: (base_result, result) per workload in the category."""
+        components = defaultdict(float)
+        for base, result in pairs:
+            normalized = result.energy.normalized_to(base.energy)
+            for component, value in normalized.items():
+                components[component] += value / len(pairs)
+        return [label, configuration,
+                components["CPU"], components["L1&L2"], components["LLC"],
+                components["Off-Chip"], components["DRAM"],
+                components["Total"]]
+
+    rows = []
+    for category, group in categories.items():
         for configuration in configurations:
-            components = defaultdict(float)
-            for benchmark in benchmarks:
-                base = run_single_core("Base", benchmark, scale)
-                result = run_single_core(configuration, benchmark, scale)
-                normalized = result.energy.normalized_to(base.energy)
-                for component, value in normalized.items():
-                    components[component] += value / len(benchmarks)
-            rows.append([f"1-core {category}", configuration,
-                         components["CPU"], components["L1&L2"],
-                         components["LLC"], components["Off-Chip"],
-                         components["DRAM"], components["Total"]])
-    results = _multicore_results(scale, configurations)
-    suite = results["_suite"]
+            pairs = [(results[("Base", b)], results[(configuration, b)])
+                     for b in group]
+            rows.append(energy_row(f"1-core {category}", configuration,
+                                   pairs))
     for fraction in sorted({w.intensive_fraction for w in suite}):
         workloads = [w for w in suite if w.intensive_fraction == fraction]
         for configuration in configurations:
-            components = defaultdict(float)
-            for workload in workloads:
-                base = results["Base"][workload.name]
-                result = results[configuration][workload.name]
-                normalized = result.energy.normalized_to(base.energy)
-                for component, value in normalized.items():
-                    components[component] += value / len(workloads)
-            rows.append([f"8-core {int(fraction * 100)}% intensive",
-                         configuration,
-                         components["CPU"], components["L1&L2"],
-                         components["LLC"], components["Off-Chip"],
-                         components["DRAM"], components["Total"]])
+            pairs = [(results[("Base", w.name)],
+                      results[(configuration, w.name)]) for w in workloads]
+            rows.append(energy_row(
+                f"8-core {int(fraction * 100)}% intensive", configuration,
+                pairs))
     return {
         "figure": "Figure 11",
         "metric": "energy normalised to Base",
@@ -192,40 +220,57 @@ def figure11_energy(scale: ExperimentScale | None = None) -> dict:
     }
 
 
-def _category_speedup(scale: ExperimentScale, configuration: str,
-                      **config_overrides) -> dict[str, float]:
-    """Weighted speedup over Base per multiprogrammed category."""
+def _sweep_speedups(scale: ExperimentScale,
+                    variants: list[tuple[str, str, dict]]) -> dict:
+    """Weighted speedup over Base per category for a list of sweep points.
+
+    ``variants`` is a list of ``(label, configuration, overrides)`` points.
+    All (point, workload) jobs plus the shared Base jobs are submitted as
+    one batch, so a whole sensitivity sweep parallelises across workers.
+    Returns ``{label: {category: speedup}}`` with insertion order preserved.
+    """
     suite = multicore_suite(scale)
-    speedups: dict[str, list[float]] = defaultdict(list)
-    for workload in suite:
-        base = run_multicore("Base", workload, scale)
-        other = run_multicore(configuration, workload, scale,
-                              **config_overrides)
-        key = f"{int(workload.intensive_fraction * 100)}% intensive"
-        speedups[key].append(other.ipc_sum / base.ipc_sum)
-    return {key: geometric_mean(values) for key, values in speedups.items()}
+    jobs = _multicore_jobs(("Base",), suite, scale)
+    for label, configuration, overrides in variants:
+        for workload in suite:
+            jobs[(label, workload.name)] = SimJob.multicore(
+                configuration, workload, scale, **overrides)
+    results = _run_batch(jobs)
+    sweep: dict = {}
+    for label, _, _ in variants:
+        speedups: dict[str, list[float]] = defaultdict(list)
+        for workload in suite:
+            base = results[("Base", workload.name)]
+            other = results[(label, workload.name)]
+            category = f"{int(workload.intensive_fraction * 100)}% intensive"
+            speedups[category].append(other.ipc_sum / base.ipc_sum)
+        sweep[label] = {category: geometric_mean(values)
+                        for category, values in speedups.items()}
+    return sweep
+
+
+def _sweep_rows(sweep: dict) -> list[list]:
+    """Flatten a :func:`_sweep_speedups` mapping into sorted result rows."""
+    rows = []
+    for label, per_category in sweep.items():
+        for category, speedup in sorted(per_category.items()):
+            rows.append([category, label, speedup])
+    return rows
 
 
 def figure12_cache_capacity(scale: ExperimentScale | None = None,
                             fast_subarray_counts=(1, 2, 4, 8, 16)) -> dict:
     """Figure 12: sensitivity to the number of fast subarrays per bank."""
     scale = scale or ExperimentScale()
-    rows = []
-    for count in fast_subarray_counts:
-        cache_rows = count * 32
-        per_category = _category_speedup(scale, "FIGCache-Fast",
-                                         fast_subarrays=count,
-                                         cache_rows_per_bank=cache_rows)
-        for category, speedup in sorted(per_category.items()):
-            rows.append([category, f"{count} FS", speedup])
-    per_category = _category_speedup(scale, "LL-DRAM")
-    for category, speedup in sorted(per_category.items()):
-        rows.append([category, "LL-DRAM", speedup])
+    variants = [(f"{count} FS", "FIGCache-Fast",
+                 {"fast_subarrays": count, "cache_rows_per_bank": count * 32})
+                for count in fast_subarray_counts]
+    variants.append(("LL-DRAM", "LL-DRAM", {}))
     return {
         "figure": "Figure 12",
         "metric": "weighted speedup over Base vs. in-DRAM cache capacity",
         "columns": ["category", "fast_subarrays", "speedup"],
-        "rows": rows,
+        "rows": _sweep_rows(_sweep_speedups(scale, variants)),
     }
 
 
@@ -233,22 +278,17 @@ def figure13_segment_size(scale: ExperimentScale | None = None,
                           segment_sizes_blocks=(8, 16, 32, 64, 128)) -> dict:
     """Figure 13: sensitivity to the row segment size (512 B ... 8 kB)."""
     scale = scale or ExperimentScale()
-    rows = []
+    variants = []
     for blocks in segment_sizes_blocks:
         label = f"{blocks * 64}B" if blocks * 64 < 1024 \
             else f"{blocks * 64 // 1024}kB"
-        per_category = _category_speedup(scale, "FIGCache-Fast",
-                                         segment_blocks=blocks)
-        for category, speedup in sorted(per_category.items()):
-            rows.append([category, label, speedup])
-    per_category = _category_speedup(scale, "LISA-VILLA")
-    for category, speedup in sorted(per_category.items()):
-        rows.append([category, "LISA-VILLA", speedup])
+        variants.append((label, "FIGCache-Fast", {"segment_blocks": blocks}))
+    variants.append(("LISA-VILLA", "LISA-VILLA", {}))
     return {
         "figure": "Figure 13",
         "metric": "weighted speedup over Base vs. row segment size",
         "columns": ["category", "segment_size", "speedup"],
-        "rows": rows,
+        "rows": _sweep_rows(_sweep_speedups(scale, variants)),
     }
 
 
@@ -257,17 +297,13 @@ def figure14_replacement_policy(scale: ExperimentScale | None = None,
                                           "RowBenefit")) -> dict:
     """Figure 14: sensitivity to the in-DRAM cache replacement policy."""
     scale = scale or ExperimentScale()
-    rows = []
-    for policy in policies:
-        per_category = _category_speedup(scale, "FIGCache-Fast",
-                                         replacement_policy=policy)
-        for category, speedup in sorted(per_category.items()):
-            rows.append([category, policy, speedup])
+    variants = [(policy, "FIGCache-Fast", {"replacement_policy": policy})
+                for policy in policies]
     return {
         "figure": "Figure 14",
         "metric": "weighted speedup over Base vs. replacement policy",
         "columns": ["category", "policy", "speedup"],
-        "rows": rows,
+        "rows": _sweep_rows(_sweep_speedups(scale, variants)),
     }
 
 
@@ -275,15 +311,26 @@ def figure15_insertion_threshold(scale: ExperimentScale | None = None,
                                  thresholds=(1, 2, 4, 8)) -> dict:
     """Figure 15: sensitivity to the row segment insertion threshold."""
     scale = scale or ExperimentScale()
-    rows = []
-    for threshold in thresholds:
-        per_category = _category_speedup(scale, "FIGCache-Fast",
-                                         insertion_threshold=threshold)
-        for category, speedup in sorted(per_category.items()):
-            rows.append([category, f"Threshold {threshold}", speedup])
+    variants = [(f"Threshold {threshold}", "FIGCache-Fast",
+                 {"insertion_threshold": threshold})
+                for threshold in thresholds]
     return {
         "figure": "Figure 15",
         "metric": "weighted speedup over Base vs. insertion threshold",
         "columns": ["category", "threshold", "speedup"],
-        "rows": rows,
+        "rows": _sweep_rows(_sweep_speedups(scale, variants)),
     }
+
+
+#: Figure number -> runner, for the ``python -m repro run-figure`` CLI.
+FIGURES = {
+    7: figure7_single_core,
+    8: figure8_multicore,
+    9: figure9_cache_hit_rate,
+    10: figure10_row_buffer_hit_rate,
+    11: figure11_energy,
+    12: figure12_cache_capacity,
+    13: figure13_segment_size,
+    14: figure14_replacement_policy,
+    15: figure15_insertion_threshold,
+}

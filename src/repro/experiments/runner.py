@@ -1,19 +1,25 @@
 """Shared machinery for the experiment runners.
 
 The runners simulate the same workloads on several configurations and report
-metrics normalised to Base, the way the paper's figures do.  A module-level
-result cache keyed by (configuration, workload, scale) lets Figures 8–11
+metrics normalised to Base, the way the paper's figures do.  All simulation
+traffic flows through the declarative experiment engine
+(:mod:`repro.experiments.engine`): each (configuration, workload, scale)
+point becomes a :class:`~repro.experiments.engine.SimJob`, the process-wide
+:class:`~repro.experiments.engine.JobExecutor` deduplicates and optionally
+parallelises the batch, and a content-addressed
+:class:`~repro.experiments.engine.ResultCache` lets Figures 8–11 — and
+repeated invocations, when a persistent cache directory is configured —
 share the underlying simulations instead of re-running them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
 
-from repro.sim.config import SystemConfig, make_system_config
+from repro.experiments.engine import ExperimentScale, SimJob, get_executor
+from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimulationResult
 from repro.sim.system import run_workload
-from repro.workloads.catalog import get_benchmark
 from repro.workloads.multiprogram import (MultiprogrammedWorkload,
                                           make_workload_suite)
 from repro.workloads.trace import TraceRecord
@@ -22,80 +28,54 @@ from repro.workloads.trace import TraceRecord
 DEFAULT_CONFIGURATIONS = ("Base", "LISA-VILLA", "FIGCache-Slow",
                           "FIGCache-Fast", "FIGCache-Ideal", "LL-DRAM")
 
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """How much simulation work each experiment performs.
-
-    The paper simulates at least one billion instructions per core; this
-    reproduction uses small deterministic traces so the full matrix of
-    experiments runs in minutes.  Larger scales sharpen the steady-state
-    behaviour (in-DRAM cache hit rates, row-buffer gains) at linear cost.
-    """
-
-    #: Trace records per core for single-core experiments.
-    single_core_records: int = 10000
-    #: Trace records per core for multi-core experiments.
-    multicore_records: int = 4000
-    #: Cores in the multiprogrammed mixes.
-    num_cores: int = 8
-    #: Memory channels for multi-core experiments (paper: 4).
-    multicore_channels: int = 4
-    #: Multiprogrammed mixes per intensity category (paper: 5).
-    mixes_per_category: int = 1
-    #: Single-core benchmarks evaluated per intensity class (paper: 10).
-    benchmarks_per_class: int = 2
-
-    @classmethod
-    def smoke(cls) -> "ExperimentScale":
-        """A minimal scale for unit tests."""
-        return cls(single_core_records=1500, multicore_records=600,
-                   num_cores=4, multicore_channels=2, mixes_per_category=1,
-                   benchmarks_per_class=1)
-
-
-_result_cache: dict = {}
+__all__ = [
+    "DEFAULT_CONFIGURATIONS",
+    "ExperimentScale",
+    "clear_cache",
+    "format_table",
+    "geometric_mean",
+    "multicore_suite",
+    "run_configuration",
+    "run_multicore",
+    "run_single_core",
+    "single_core_benchmarks",
+]
 
 
 def clear_cache() -> None:
-    """Drop all cached simulation results."""
-    _result_cache.clear()
+    """Drop all cached simulation results (memory and persistent)."""
+    get_executor().cache.clear()
 
 
 def run_configuration(config: SystemConfig, traces: list[list[TraceRecord]],
                       workload_name: str, cache_key=None) -> SimulationResult:
-    """Run one (configuration, workload) pair, with optional caching."""
-    if cache_key is not None and cache_key in _result_cache:
-        return _result_cache[cache_key]
-    result = run_workload(config, traces, workload_name)
-    if cache_key is not None:
-        _result_cache[cache_key] = result
-    return result
+    """Run one pre-built (configuration, traces) pair directly.
+
+    Kept for callers that assemble their own configs/traces.  The
+    ``cache_key`` argument is ignored: caching is now handled by the
+    experiment engine, which keys on declarative :class:`SimJob` specs
+    rather than caller-supplied tuples.
+    """
+    del cache_key
+    return run_workload(config, traces, workload_name)
 
 
 def run_single_core(configuration: str, benchmark: str,
                     scale: ExperimentScale,
                     **config_overrides) -> SimulationResult:
     """Simulate one benchmark on one configuration, single core."""
-    spec = get_benchmark(benchmark)
-    trace = spec.make_trace(scale.single_core_records)
-    config = make_system_config(configuration, channels=1, **config_overrides)
-    key = ("1core", configuration, benchmark, scale,
-           tuple(sorted(config_overrides.items())))
-    return run_configuration(config, [trace], benchmark, cache_key=key)
+    job = SimJob.single_core(configuration, benchmark, scale,
+                             **config_overrides)
+    return get_executor().run_one(job)
 
 
 def run_multicore(configuration: str, workload: MultiprogrammedWorkload,
                   scale: ExperimentScale,
                   **config_overrides) -> SimulationResult:
     """Simulate one multiprogrammed mix on one configuration."""
-    traces = workload.make_traces(scale.multicore_records)
-    config = make_system_config(configuration,
-                                channels=scale.multicore_channels,
-                                **config_overrides)
-    key = ("mp", configuration, workload.name, scale,
-           tuple(sorted(config_overrides.items())))
-    return run_configuration(config, traces, workload.name, cache_key=key)
+    job = SimJob.multicore(configuration, workload, scale,
+                           **config_overrides)
+    return get_executor().run_one(job)
 
 
 def multicore_suite(scale: ExperimentScale) -> list[MultiprogrammedWorkload]:
@@ -118,15 +98,20 @@ def single_core_benchmarks(scale: ExperimentScale) -> dict[str, list[str]]:
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geometric mean (used for speedup aggregation)."""
+    """Geometric mean (used for speedup aggregation).
+
+    Computed in log space as ``exp(mean(log(v)))``: a running product
+    under/overflows for long lists of values far from 1.0, while summed
+    logarithms stay comfortably inside double range.
+    """
     if not values:
         return 0.0
-    product = 1.0
+    log_sum = 0.0
     for value in values:
         if value <= 0:
             raise ValueError("geometric mean requires positive values")
-        product *= value
-    return product ** (1.0 / len(values))
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
 
 
 def format_table(title: str, columns: list[str],

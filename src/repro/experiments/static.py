@@ -1,10 +1,13 @@
-"""Runners for the non-simulation experiments.
+"""Runners for the non-figure experiments.
 
 These cover the parts of the paper's evaluation that are analytical rather
 than trace-driven: the simulated-system configuration (Table 1), the
 workload catalog (Table 2), the RELOC timing study (Section 4.2), the
 hardware overhead accounting (Section 8.3), and the qualitative
-RowHammer-style activation-concentration study (Sections 6 and 8.1).
+RowHammer-style activation-concentration study (Sections 6 and 8.1).  The
+RowHammer study is the one entry that simulates; like the figures, it
+submits declarative jobs to the experiment engine, so its runs share the
+parallel executor and the persistent result cache.
 """
 
 from __future__ import annotations
@@ -12,9 +15,9 @@ from __future__ import annotations
 from repro.analysis.overhead import OverheadModel
 from repro.circuit.reloc_timing import analyze_reloc_timing
 from repro.dram.config import DRAMConfig
+from repro.experiments.engine import SimJob, get_executor
 from repro.experiments.runner import ExperimentScale
 from repro.sim.config import make_system_config
-from repro.sim.system import run_workload
 from repro.workloads.catalog import BENCHMARKS
 from repro.workloads.trace import trace_statistics
 
@@ -135,17 +138,18 @@ def rowhammer_activation_study(scale: ExperimentScale | None = None,
     quantities a RowHammer-style disturbance attack cares about.
     """
     scale = scale or ExperimentScale()
-    from repro.workloads.catalog import get_benchmark
-
-    spec = get_benchmark(benchmark)
-    trace = spec.make_trace(scale.single_core_records)
+    configurations = ("Base", "FIGCache-Fast")
+    jobs = {configuration: SimJob.single_core(configuration, benchmark,
+                                              scale,
+                                              track_row_activations=True)
+            for configuration in configurations}
+    results = get_executor().run(jobs.values())
     rows = []
-    for configuration in ("Base", "FIGCache-Fast"):
-        config = make_system_config(configuration, channels=1,
-                                    track_row_activations=True)
-        result = run_workload(config, [trace], benchmark)
+    for configuration in configurations:
+        job = jobs[configuration]
+        result = results[job]
         counts = result.dram_counters.row_activation_counts
-        regular_limit = config.dram.regular_rows_per_bank
+        regular_limit = job.build_config().dram.regular_rows_per_bank
         regular = {key: value for key, value in counts.items()
                    if key[1] < regular_limit}
         total_regular = sum(regular.values())
@@ -159,3 +163,14 @@ def rowhammer_activation_study(scale: ExperimentScale | None = None,
                     "max activations to one regular row"],
         "rows": rows,
     }
+
+
+#: Name -> runner, for the ``python -m repro run-static`` CLI.  Runners
+#: listed here take no required arguments.
+STATIC_EXPERIMENTS = {
+    "table1": table1_configuration,
+    "table2": table2_workloads,
+    "reloc-timing": section42_reloc_timing,
+    "overhead": section83_overhead,
+    "rowhammer": rowhammer_activation_study,
+}

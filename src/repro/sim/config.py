@@ -10,7 +10,9 @@ builds the right combination by name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.baselines.base import BaseMechanism
 from repro.baselines.lisa_villa import LISAVillaConfig, LISAVillaMechanism
@@ -51,6 +53,19 @@ class SystemConfig:
     refresh_enabled: bool = True
     #: Track per-row activation counts (RowHammer-style analysis only).
     track_row_activations: bool = False
+
+
+def config_digest(config: SystemConfig) -> str:
+    """Stable content hash of a fully-built system configuration.
+
+    Every field of the configuration (including the nested DRAM organization,
+    timings, core, scheduler, and mechanism configs) contributes to the
+    digest, so any knob that changes simulated behaviour changes the hash.
+    The experiment engine uses this as part of its persistent cache key.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def make_mechanism(config: SystemConfig) -> list[CachingMechanism]:

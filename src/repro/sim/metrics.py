@@ -38,6 +38,25 @@ class CoreResult:
             return 0.0
         return 1000.0 * self.llc_misses / self.instructions
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the persistent result cache)."""
+        return {
+            "core_id": self.core_id,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "llc_misses": self.llc_misses,
+            "memory_instructions": self.memory_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreResult":
+        """Rebuild a per-core result from :meth:`to_dict` output."""
+        return cls(core_id=data["core_id"],
+                   instructions=data["instructions"],
+                   cycles=data["cycles"],
+                   llc_misses=data["llc_misses"],
+                   memory_instructions=data["memory_instructions"])
+
 
 @dataclass
 class SimulationResult:
@@ -91,6 +110,57 @@ class SimulationResult:
     def ipc_of(self, core_id: int) -> float:
         """IPC of one core."""
         return self.cores[core_id].ipc
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, exact to the bit for every metric.
+
+        ``extra`` must itself be JSON-serialisable for the round trip to be
+        lossless; the experiment engine never stores anything else in it.
+        """
+        return {
+            "configuration": self.configuration,
+            "workload": self.workload,
+            "cores": [core.to_dict() for core in self.cores],
+            "total_cycles": self.total_cycles,
+            "elapsed_ns": self.elapsed_ns,
+            "dram_counters": self.dram_counters.to_dict(),
+            "in_dram_cache_hit_rate": self.in_dram_cache_hit_rate,
+            "cache_lookups": self.cache_lookups,
+            "cache_hits": self.cache_hits,
+            "average_read_latency_cycles": self.average_read_latency_cycles,
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+            "relocation_operations": self.relocation_operations,
+            "relocation_cycles": self.relocation_cycles,
+            "energy": self.energy.to_dict() if self.energy else None,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.energy.system_energy import SystemEnergyBreakdown
+
+        energy = data.get("energy")
+        return cls(
+            configuration=data["configuration"],
+            workload=data["workload"],
+            cores=[CoreResult.from_dict(core) for core in data["cores"]],
+            total_cycles=data["total_cycles"],
+            elapsed_ns=data["elapsed_ns"],
+            dram_counters=CommandCounters.from_dict(data["dram_counters"]),
+            in_dram_cache_hit_rate=data["in_dram_cache_hit_rate"],
+            cache_lookups=data["cache_lookups"],
+            cache_hits=data["cache_hits"],
+            average_read_latency_cycles=data["average_read_latency_cycles"],
+            memory_reads=data["memory_reads"],
+            memory_writes=data["memory_writes"],
+            relocation_operations=data["relocation_operations"],
+            relocation_cycles=data["relocation_cycles"],
+            energy=SystemEnergyBreakdown.from_dict(energy) if energy
+            else None,
+            extra=data.get("extra") or {},
+        )
 
 
 def weighted_speedup(shared: SimulationResult,

@@ -1,0 +1,269 @@
+"""Tests for the declarative experiment engine: job specs, content-addressed
+keys, result serialization, the persistent cache, the parallel executor, and
+the ``python -m repro`` CLI."""
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import engine
+from repro.experiments.engine import (JobExecutor, ResultCache, SimJob,
+                                      cache_salt)
+from repro.experiments.engine.spec import ExperimentScale
+from repro.experiments.figures import figure9_cache_hit_rate
+from repro.experiments.runner import geometric_mean
+from repro.sim.metrics import SimulationResult
+from repro.workloads.multiprogram import make_multiprogrammed_workload
+
+TINY = ExperimentScale.tiny()
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_engine():
+    """Keep the process-wide default engine isolated per test."""
+    engine.reset()
+    yield
+    engine.reset()
+
+
+class TestSimJob:
+    def test_key_is_stable_across_equal_jobs(self):
+        a = SimJob.single_core("FIGCache-Fast", "lbm", TINY)
+        b = SimJob.single_core("FIGCache-Fast", "lbm",
+                               ExperimentScale.tiny())
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_inputs(self):
+        base = SimJob.single_core("FIGCache-Fast", "lbm", TINY)
+        keys = {
+            base.key(),
+            SimJob.single_core("Base", "lbm", TINY).key(),
+            SimJob.single_core("FIGCache-Fast", "mcf", TINY).key(),
+            SimJob.single_core("FIGCache-Fast", "lbm", TINY,
+                               segment_blocks=32).key(),
+            SimJob.single_core(
+                "FIGCache-Fast", "lbm",
+                ExperimentScale.tiny().__class__(
+                    single_core_records=500)).key(),
+        }
+        assert len(keys) == 5
+
+    def test_key_ignores_scale_fields_that_do_not_affect_the_job(self):
+        # mixes_per_category only selects which jobs a figure creates; a
+        # single-core job's simulation is unaffected, so the cache entry
+        # must be shared.
+        import dataclasses
+        a = SimJob.single_core("Base", "lbm", TINY)
+        other_scale = dataclasses.replace(TINY, mixes_per_category=5,
+                                          benchmarks_per_class=3)
+        b = SimJob.single_core("Base", "lbm", other_scale)
+        assert a.key() == b.key()
+
+    def test_multicore_job_builds_and_keys(self):
+        workload = make_multiprogrammed_workload(1.0, 0, num_cores=2)
+        job = SimJob.multicore("FIGCache-Fast", workload, TINY)
+        assert job.workload_name == workload.name
+        assert job.channels == TINY.multicore_channels
+        assert len(job.build_traces()) == 2
+        assert job.key() != SimJob.multicore("Base", workload, TINY).key()
+
+    def test_jobs_are_picklable(self):
+        workload = make_multiprogrammed_workload(0.5, 1, num_cores=2)
+        for job in (SimJob.single_core("LISA-VILLA", "mcf", TINY),
+                    SimJob.multicore("FIGCache-Slow", workload, TINY)):
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone == job
+            assert clone.key() == job.key()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SimJob(kind="weird", configuration="Base", scale=TINY)
+        with pytest.raises(ValueError):
+            SimJob(kind="single-core", configuration="Base", scale=TINY)
+
+
+class TestResultSerialization:
+    def test_round_trip_is_exact(self):
+        result = SimJob.single_core("FIGCache-Fast", "lbm", TINY).run()
+        data = json.loads(json.dumps(result.to_dict()))
+        clone = SimulationResult.from_dict(data)
+        assert clone == result
+        assert clone.to_dict() == result.to_dict()
+        # The energy breakdown survives to the bit.
+        assert clone.energy == result.energy
+        assert clone.energy.total_nj == result.energy.total_nj
+        assert clone.row_buffer_hit_rate == result.row_buffer_hit_rate
+
+    def test_round_trip_preserves_row_activation_counts(self):
+        result = SimJob.single_core("Base", "lbm", TINY,
+                                    track_row_activations=True).run()
+        counts = result.dram_counters.row_activation_counts
+        assert counts  # tuple-keyed dict, the hard case for JSON
+        clone = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert clone.dram_counters.row_activation_counts == counts
+        assert clone.dram_counters == result.dram_counters
+
+
+class TestResultCache:
+    def test_memory_only_cache(self):
+        cache = ResultCache()
+        assert not cache.persistent
+        assert cache.get("missing") is None
+        result = SimJob.single_core("Base", "gcc", TINY).run()
+        cache.put("k", result)
+        assert cache.get("k") == result
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+
+    def test_persistent_cache_survives_new_instance(self, tmp_path):
+        job = SimJob.single_core("FIGCache-Slow", "mcf", TINY)
+        result = job.run()
+        ResultCache(tmp_path).put(job.key(), result)
+        reloaded = ResultCache(tmp_path).get(job.key())
+        assert reloaded == result
+
+    def test_stale_salt_is_a_miss(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        cache = ResultCache(tmp_path)
+        cache.put(job.key(), job.run())
+        path = tmp_path / f"{job.key()}.json"
+        payload = json.loads(path.read_text())
+        assert payload["salt"] == cache_salt()
+        payload["salt"] = "0:0.0.0"
+        path.write_text(json.dumps(payload))
+        assert ResultCache(tmp_path).get(job.key()) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        cache = ResultCache(tmp_path)
+        cache.put(job.key(), job.run())
+        (tmp_path / f"{job.key()}.json").write_text("{not json")
+        assert ResultCache(tmp_path).get(job.key()) is None
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        cache = ResultCache(tmp_path)
+        cache.put(job.key(), job.run())
+        assert cache.stats().disk_entries == 1
+        cache.clear()
+        assert cache.stats().disk_entries == 0
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestJobExecutor:
+    def test_deduplicates_equal_jobs(self):
+        executor = JobExecutor()
+        job = SimJob.single_core("Base", "gcc", TINY)
+        results = executor.run([job, SimJob.single_core("Base", "gcc", TINY)])
+        assert len(results) == 1
+        assert executor.simulations_executed == 1
+
+    def test_cache_hits_skip_execution(self):
+        executor = JobExecutor()
+        job = SimJob.single_core("Base", "gcc", TINY)
+        first = executor.run_one(job)
+        second = executor.run_one(job)
+        assert first == second
+        assert executor.simulations_executed == 1
+        assert executor.cache_hits == 1
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            JobExecutor(jobs=0)
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        engine.configure(jobs=1)
+        serial = figure9_cache_hit_rate(TINY)
+        engine.configure(jobs=2)
+        parallel = figure9_cache_hit_rate(TINY)
+        assert parallel["rows"] == serial["rows"]
+
+    def test_warm_persistent_cache_runs_zero_simulations(self, tmp_path):
+        cold = engine.configure(jobs=2, cache_dir=str(tmp_path))
+        first = figure9_cache_hit_rate(TINY)
+        assert cold.simulations_executed > 0
+
+        warm = engine.configure(jobs=2, cache_dir=str(tmp_path))
+        second = figure9_cache_hit_rate(TINY)
+        assert warm.simulations_executed == 0
+        assert warm.cache_hits == cold.simulations_executed
+        assert second["rows"] == first["rows"]
+
+    def test_jobs_env_variable_sets_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert JobExecutor().jobs == 3
+
+
+class TestGeometricMean:
+    def test_no_underflow_or_overflow_on_long_extreme_lists(self):
+        # 1e4 values near zero: a running product underflows to 0.0 long
+        # before the end; the log-space form is exact.
+        small = [1e-6] * 10000
+        assert geometric_mean(small) == pytest.approx(1e-6, rel=1e-9)
+        # 1e4 values near 1e6: a running product overflows to inf.
+        large = [1e6] * 10000
+        assert geometric_mean(large) == pytest.approx(1e6, rel=1e-9)
+        mixed = [1e-6, 1e6] * 5000
+        assert geometric_mean(mixed) == pytest.approx(1.0, rel=1e-9)
+        assert math.isfinite(geometric_mean(large))
+
+    def test_matches_direct_definition_on_small_lists(self):
+        values = [0.5, 2.0, 4.0]
+        direct = (0.5 * 2.0 * 4.0) ** (1.0 / 3.0)
+        assert geometric_mean(values) == pytest.approx(direct)
+
+    def test_validates_input(self):
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestCLI:
+    def test_run_figure_warm_cache_second_invocation(self, tmp_path, capsys):
+        argv = ["run-figure", "7", "--scale", "tiny", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 7" in cold
+        assert "0 simulations executed" not in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulations executed" in warm
+        # Identical tables, straight from the persistent cache.
+        assert warm.splitlines()[:-2] == cold.splitlines()[:-2]
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        argv_dir = ["--cache-dir", str(tmp_path)]
+        main(["run-figure", "7", "--scale", "tiny"] + argv_dir)
+        capsys.readouterr()
+        main(["cache", "stats"] + argv_dir)
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out and "disk entries    : 12" in out
+        main(["cache", "clear"] + argv_dir)
+        assert "cleared 12" in capsys.readouterr().out
+        main(["cache", "stats"] + argv_dir)
+        assert "disk entries    : 0" in capsys.readouterr().out
+
+    def test_run_static_overhead(self, capsys):
+        assert main(["run-static", "overhead", "--cache-dir", "none"]) == 0
+        assert "Section 8.3" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "run-figure" in out and "rowhammer" in out
+
+    def test_sweep_tiny(self, tmp_path, capsys):
+        argv = ["sweep", "--segment-blocks", "8,16", "--cache-rows", "32",
+                "--scale", "tiny", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep" in out
+        assert "512B" in out and "1kB" in out
