@@ -17,6 +17,12 @@ class BaseMechanism(CachingMechanism):
 
     name = "Base"
 
+    #: No in-DRAM cache: requests are always served from their address row,
+    #: so the scheduler can skip the effective-row hook entirely and the
+    #: channel controller can serve requests without the service wrapper.
+    remaps_rows = False
+    direct_access = True
+
     def effective_row(self, channel: Channel, decoded: DecodedAddress,
                       flat_bank: int) -> int:
         return decoded.row
@@ -24,10 +30,9 @@ class BaseMechanism(CachingMechanism):
     def service(self, channel: Channel, now: int, decoded: DecodedAddress,
                 flat_bank: int, is_write: bool) -> ServiceResult:
         access = channel.access(now, flat_bank, decoded.row, is_write)
-        bank = channel.bank(flat_bank)
-        return ServiceResult(completion_cycle=access.completion_cycle,
-                             bank_busy_until=bank.ready_for_next,
-                             row_buffer_outcome=access.outcome,
-                             in_dram_cache_hit=None,
-                             served_fast=access.served_fast,
-                             relocation_cycles=0)
+        # ``bank_ready_cycle`` equals the bank's post-access
+        # ``ready_for_next`` (a column access always pushes the column
+        # timer past the busy window), so the bank need not be re-read.
+        return ServiceResult(access.completion_cycle,
+                             access.bank_ready_cycle, access.outcome, None,
+                             access.served_fast, 0)

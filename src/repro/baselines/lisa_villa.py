@@ -51,7 +51,7 @@ class LISAVillaConfig:
                 f"{dram.fast_rows_per_bank}")
 
 
-@dataclass
+@dataclass(slots=True)
 class _RowEntry:
     """Tag-store entry for one cached row."""
 
@@ -61,7 +61,7 @@ class _RowEntry:
     benefit: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _BankState:
     """Per-bank cache state for LISA-VILLA."""
 
@@ -87,7 +87,24 @@ class LISAVillaMechanism(CachingMechanism):
         self._benefit_max = (1 << self._cfg.benefit_bits) - 1
         self._hop_cycles = dram_config.slow_timing_set().cycles(
             self._cfg.hop_latency_ns)
-        self._banks: dict[int, _BankState] = {}
+        # Hot-path constants: the first fast-region row id (cache slot ``s``
+        # lives at row ``base + s``), the rows per regular subarray, and the
+        # hop distance per regular subarray (see :meth:`hop_distance`),
+        # precomputed so insertions do no per-call layout arithmetic.
+        self._fast_row_base = dram_config.regular_rows_per_bank
+        self._rows_per_subarray = dram_config.rows_per_subarray
+        period = max(1, dram_config.subarrays_per_bank
+                     // self._cfg.fast_subarrays_per_bank)
+        self._hops_by_subarray = [
+            min(period - (subarray % period), (subarray % period) + 1)
+            for subarray in range(dram_config.subarrays_per_bank)]
+        #: Per-bank states, eagerly built at system-assembly time.
+        self._banks: dict[int, _BankState] = {
+            flat_bank: _BankState(
+                entries={},
+                free_slots=list(range(self._cfg.cache_rows_per_bank)),
+                slot_to_row={})
+            for flat_bank in range(dram_config.banks_per_channel)}
 
     # ------------------------------------------------------------------
     # Configuration accessors.
@@ -119,6 +136,10 @@ class LISAVillaMechanism(CachingMechanism):
 
     def relocation_transfer_cycles(self, source_row: int) -> int:
         """Transfer cycles for relocating a full row from ``source_row``."""
+        if source_row < self._fast_row_base:
+            hops = self._hops_by_subarray[source_row
+                                          // self._rows_per_subarray]
+            return hops * self._hop_cycles
         return self.hop_distance(source_row) * self._hop_cycles
 
     # ------------------------------------------------------------------
@@ -126,54 +147,55 @@ class LISAVillaMechanism(CachingMechanism):
     # ------------------------------------------------------------------
     def effective_row(self, channel: Channel, decoded: DecodedAddress,
                       flat_bank: int) -> int:
-        state = self._bank_state(flat_bank)
-        entry = state.entries.get(decoded.row)
+        state = self._banks.get(flat_bank)
+        if state is None:
+            state = self._bank_state(flat_bank)
+        row = decoded.row
+        entry = state.entries.get(row)
         if entry is None:
-            return decoded.row
-        if not entry.dirty and channel.bank(flat_bank).open_row == decoded.row:
+            return row
+        if not entry.dirty and channel.bank(flat_bank).open_row == row:
             # The original row is still open and the cached copy is clean;
             # serving from the open row is a row hit (same optimization as
             # FIGCache's row-buffer-aware redirection, applied for fairness).
-            return decoded.row
-        return self._dram.fast_region_row(entry.cache_slot)
+            return row
+        return self._fast_row_base + entry.cache_slot
 
     def service(self, channel: Channel, now: int, decoded: DecodedAddress,
                 flat_bank: int, is_write: bool) -> ServiceResult:
-        state = self._bank_state(flat_bank)
+        state = self._banks.get(flat_bank)
+        if state is None:
+            state = self._bank_state(flat_bank)
         self.stats.cache_lookups += 1
-        entry = state.entries.get(decoded.row)
+        row = decoded.row
+        entry = state.entries.get(row)
 
         if entry is not None:
             self.stats.cache_hits += 1
             if entry.benefit < self._benefit_max:
                 entry.benefit += 1
             serve_from_source = (not is_write and not entry.dirty
-                                 and channel.bank(flat_bank).open_row
-                                 == decoded.row)
+                                 and channel.bank(flat_bank).open_row == row)
             if is_write:
                 entry.dirty = True
-            cache_row = decoded.row if serve_from_source \
-                else self._dram.fast_region_row(entry.cache_slot)
+            cache_row = row if serve_from_source \
+                else self._fast_row_base + entry.cache_slot
             access = channel.access(now, flat_bank, cache_row, is_write)
-            bank = channel.bank(flat_bank)
-            return ServiceResult(completion_cycle=access.completion_cycle,
-                                 bank_busy_until=bank.ready_for_next,
-                                 row_buffer_outcome=access.outcome,
-                                 in_dram_cache_hit=True,
-                                 served_fast=access.served_fast,
-                                 relocation_cycles=0)
+            # No relocation on a hit, so the access result already carries
+            # the bank's post-access readiness.
+            return ServiceResult(access.completion_cycle,
+                                 access.bank_ready_cycle, access.outcome,
+                                 True, access.served_fast, 0)
 
-        access = channel.access(now, flat_bank, decoded.row, is_write)
+        access = channel.access(now, flat_bank, row, is_write)
         relocation_cycles = self._insert_row(channel, access.completion_cycle,
-                                             flat_bank, state, decoded.row,
+                                             flat_bank, state, row,
                                              dirty=is_write)
-        bank = channel.bank(flat_bank)
-        return ServiceResult(completion_cycle=access.completion_cycle,
-                             bank_busy_until=bank.ready_for_next,
-                             row_buffer_outcome=access.outcome,
-                             in_dram_cache_hit=False,
-                             served_fast=access.served_fast,
-                             relocation_cycles=relocation_cycles)
+        # The insertion relocation occupies the bank after the access.
+        return ServiceResult(access.completion_cycle,
+                             channel.bank(flat_bank).ready_for_next,
+                             access.outcome, False, access.served_fast,
+                             relocation_cycles)
 
     # ------------------------------------------------------------------
     # Cache management.
@@ -209,8 +231,19 @@ class LISAVillaMechanism(CachingMechanism):
     def _evict_row(self, channel: Channel, now: int, flat_bank: int,
                    state: _BankState) -> tuple[int, int, int]:
         """Evict the lowest-benefit cached row; returns (slot, cycles, time)."""
-        victim_row = min(state.entries.values(),
-                         key=lambda entry: (entry.benefit, entry.cache_slot))
+        # Manual argmin over (benefit, cache_slot): this scan runs once per
+        # eviction over every cached row, and a key-lambda ``min`` costs a
+        # call plus a tuple per entry.
+        victim_row = None
+        best_benefit = best_slot = 0
+        for entry in state.entries.values():
+            benefit = entry.benefit
+            if victim_row is None or benefit < best_benefit \
+                    or (benefit == best_benefit
+                        and entry.cache_slot < best_slot):
+                victim_row = entry
+                best_benefit = benefit
+                best_slot = entry.cache_slot
         slot = victim_row.cache_slot
         del state.entries[victim_row.source_row]
         del state.slot_to_row[slot]

@@ -9,6 +9,8 @@
   product of segment sizes and cache capacities).
 * ``cache stats`` / ``cache clear`` — inspect or wipe the persistent
   result cache.
+* ``bench``         — time the simulator itself on the figure-7 workload
+  set and emit ``benchmarks/perf/BENCH_<rev>.json``.
 * ``list``          — show every runnable experiment.
 
 ``--jobs N`` fans independent simulations across N worker processes;
@@ -20,6 +22,7 @@ produce bit-identical tables.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -133,6 +136,25 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments import bench
+
+    report = bench.run_bench(quick=args.quick, repeats=args.repeats)
+    output_dir = Path(args.output_dir)
+    path = bench.write_report(report, output_dir)
+
+    comparison = None
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        with baseline_path.open(encoding="utf-8") as handle:
+            comparison = bench.compare_to_baseline(report, json.load(handle))
+    print(bench.format_report(report, comparison))
+    print(f"report written to {path}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache_dir = args.cache_dir
     if cache_dir is None:
@@ -196,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache rows per bank (default 32,64,128)")
     _add_engine_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser("bench",
+                           help="time the simulator on the figure-7 "
+                                "workload set; emit BENCH_<rev>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="small CI-friendly subset (tiny scale, "
+                            "Base + FIGCache-Fast only)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="repeat each job N times, keep the fastest "
+                            "(default 3; damps machine-load noise)")
+    bench.add_argument("--output-dir", default="benchmarks/perf",
+                       metavar="DIR",
+                       help="where BENCH_<rev>.json is written "
+                            "(default benchmarks/perf)")
+    bench.add_argument("--baseline", default="benchmarks/perf/BENCH_baseline.json",
+                       metavar="FILE",
+                       help="baseline report to compute speedups against "
+                            "(default benchmarks/perf/BENCH_baseline.json)")
+    bench.set_defaults(func=_cmd_bench)
 
     cache = sub.add_parser("cache", help="persistent result cache tools")
     cache.add_argument("cache_command", choices=("stats", "clear"))

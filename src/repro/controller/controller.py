@@ -7,6 +7,8 @@ address mapping, and aggregates completion statistics across channels.
 
 from __future__ import annotations
 
+from heapq import heappop
+
 from repro.controller.channel_controller import ChannelController
 from repro.controller.request import MemoryRequest
 from repro.controller.scheduler import SchedulerConfig
@@ -16,6 +18,9 @@ from repro.dram.device import DRAMDevice
 
 class MemoryController:
     """All per-channel controllers plus request routing."""
+
+    __slots__ = ('_device', 'channel_controllers', '_route_cache',
+                 '_controllers_tuple')
 
     def __init__(self, device: DRAMDevice,
                  mechanisms: list[CachingMechanism],
@@ -29,6 +34,18 @@ class MemoryController:
             ChannelController(channel, mechanism, scheduler_config)
             for channel, mechanism in zip(device.channels, mechanisms)
         ]
+        #: Routing results memoized per block address: every request to the
+        #: same block decodes to the same coordinates, flat bank, and
+        #: channel, so repeated traffic skips the decode/flat-bank work.
+        #: Unbounded by design — its size is the workload's block
+        #: footprint, which the trace generators keep far below DRAM
+        #: capacity.  Revisit with an LRU bound if trace footprints ever
+        #: approach memory size.
+        self._route_cache: dict[int, tuple] = {}
+        #: Tuple copy for the per-event wake-up scan (tuple iteration is
+        #: slightly cheaper than list iteration, and the set of channels
+        #: never changes).
+        self._controllers_tuple = tuple(self.channel_controllers)
 
     @property
     def device(self) -> DRAMDevice:
@@ -37,29 +54,63 @@ class MemoryController:
 
     def route(self, request: MemoryRequest) -> ChannelController:
         """Decode the request's address and return its channel controller."""
-        decoded = self._device.decode(request.address)
-        request.decoded = decoded
-        request.flat_bank = self._device.flat_bank(decoded)
-        return self.channel_controllers[decoded.channel]
+        entry = self._route_cache.get(request.address)
+        if entry is None:
+            decoded = self._device.decode(request.address)
+            flat_bank = self._device.flat_bank(decoded)
+            entry = (decoded, flat_bank,
+                     self.channel_controllers[decoded.channel])
+            self._route_cache[request.address] = entry
+        request.decoded = entry[0]
+        request.flat_bank = entry[1]
+        return entry[2]
 
     def enqueue(self, request: MemoryRequest, now: int) -> list[MemoryRequest]:
-        """Route and enqueue a request; returns newly completed requests."""
-        controller = self.route(request)
-        return controller.enqueue(request, now)
+        """Route and enqueue a request; returns newly completed requests.
+
+        Routing is inlined (one cache probe) rather than delegated to
+        :meth:`route` — this runs once per memory request.
+        """
+        entry = self._route_cache.get(request.address)
+        if entry is None:
+            decoded = self._device.decode(request.address)
+            flat_bank = self._device.flat_bank(decoded)
+            entry = (decoded, flat_bank,
+                     self.channel_controllers[decoded.channel])
+            self._route_cache[request.address] = entry
+        request.decoded = entry[0]
+        request.flat_bank = entry[1]
+        return entry[2].enqueue(request, now)
 
     def wake(self, now: int) -> list[MemoryRequest]:
         """Give every channel a chance to issue requests at cycle ``now``."""
         completed: list[MemoryRequest] = []
-        for controller in self.channel_controllers:
-            completed.extend(controller.wake(now))
+        for controller in self._controllers_tuple:
+            if controller._wakeup_cycle:
+                completed.extend(controller.wake(now))
         return completed
 
     def next_wakeup(self) -> int | None:
-        """Earliest wake-up cycle needed by any channel, or None."""
-        wakeups = [controller.next_wakeup()
-                   for controller in self.channel_controllers]
-        wakeups = [cycle for cycle in wakeups if cycle is not None]
-        return min(wakeups) if wakeups else None
+        """Earliest wake-up cycle needed by any channel, or None.
+
+        Each channel answers from its lazily-invalidated wake-up heap, so
+        this is O(channels) rather than O(pending banks).  The per-channel
+        heap peek is inlined: this runs after every controller-facing
+        event, and a method call per channel is measurable.
+        """
+        earliest = None
+        for controller in self._controllers_tuple:
+            heap = controller._wakeup_heap
+            live = controller._wakeup_cycle
+            while heap:
+                head = heap[0]
+                if live.get(head[1]) == head[0]:
+                    cycle = head[0]
+                    if earliest is None or cycle < earliest:
+                        earliest = cycle
+                    break
+                heappop(heap)
+        return earliest
 
     def has_pending_work(self) -> bool:
         """True while any channel still has queued requests."""

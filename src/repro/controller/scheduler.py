@@ -4,14 +4,24 @@ FR-FCFS (first-ready, first-come-first-served) prefers requests that hit the
 currently open row of their bank (they are "first ready"), and falls back to
 the oldest request otherwise.  This is the scheduling policy used by the
 paper's baseline memory controller (Table 1).
+
+The scheduler operates on *per-bank* candidate queues maintained by the
+:class:`~repro.controller.channel_controller.ChannelController`: each call
+to :meth:`FRFCFSScheduler.pick` receives only the requests targeting the
+bank being scheduled, already in FCFS order, instead of scanning the whole
+channel's read and write queues.  FCFS selection is therefore "front of the
+queue" and first-ready selection is a single in-order scan for the first
+open-row hit — both O(pending requests of this bank) rather than O(all
+queued requests x banks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.controller.request import MemoryRequest
-from repro.dram.channel import Channel
+from repro.dram.bank import Bank
 
 
 @dataclass(frozen=True)
@@ -31,65 +41,79 @@ class SchedulerConfig:
 class FRFCFSScheduler:
     """Selects the next request to issue for one bank of one channel."""
 
+    __slots__ = ('_config', '_write_backlog_threshold')
+
     def __init__(self, config: SchedulerConfig | None = None):
         self._config = config or SchedulerConfig()
+        # Hoisted for the per-pick hot path (frozen-dataclass attribute
+        # access costs a descriptor lookup per call otherwise).
+        self._write_backlog_threshold = self._config.write_drain_low_watermark
 
     @property
     def config(self) -> SchedulerConfig:
         """Queue and watermark configuration."""
         return self._config
 
-    def pick(self, channel: Channel, flat_bank: int,
-             read_queue: list[MemoryRequest],
-             write_queue: list[MemoryRequest],
-             drain_mode: bool, row_of=None) -> MemoryRequest | None:
-        """Pick the next request to issue for ``flat_bank``.
+    def pick(self, bank: Bank,
+             bank_reads: Sequence[MemoryRequest],
+             bank_writes: Sequence[MemoryRequest],
+             write_backlog: int, drain_mode: bool,
+             row_of=None) -> MemoryRequest | None:
+        """Pick the next request to issue for ``bank``.
+
+        ``bank_reads`` and ``bank_writes`` hold only this bank's pending
+        requests, in FCFS (ascending ``request_id``) order — the channel
+        controller maintains these per-bank queues on enqueue/dequeue.
+        ``write_backlog`` is the channel-wide write-queue occupancy, which
+        gates opportunistic write issue outside of drain mode.
 
         Reads have priority over writes except during write drain.  Within a
         class, requests that would hit the open row of the bank are preferred
-        (first-ready); ties are broken by arrival order (FCFS).
+        (first-ready); ties are broken by arrival order (FCFS), i.e. the
+        earliest request in queue order.
 
         ``row_of`` maps a request to the DRAM row it would actually be served
         from.  In-DRAM caching mechanisms redirect hot segments to cache
         rows, so the effective row can differ from the row encoded in the
         request's address; passing the mechanism's view here lets FR-FCFS
-        exploit open cache rows.  When omitted, the address row is used.
+        exploit open cache rows.  When None, the address row is used
+        directly (the fast path for mechanisms that never remap rows).
         """
-        if row_of is None:
-            def row_of(req: MemoryRequest) -> int:
-                return req.decoded.row
-
-        bank_reads = [req for req in read_queue if req.flat_bank == flat_bank]
-        bank_writes = [req for req in write_queue if req.flat_bank == flat_bank]
+        open_row = bank.open_row
 
         if drain_mode:
-            choice = self._first_ready(channel, flat_bank, bank_writes, row_of)
+            choice = _first_ready(bank_writes, open_row, row_of)
             if choice is None:
-                choice = self._first_ready(channel, flat_bank, bank_reads,
-                                           row_of)
+                choice = _first_ready(bank_reads, open_row, row_of)
             return choice
 
-        choice = self._first_ready(channel, flat_bank, bank_reads, row_of)
+        choice = _first_ready(bank_reads, open_row, row_of)
         if choice is not None:
             return choice
         # No reads pending for this bank: opportunistically issue writes once
         # the write queue has accumulated a modest batch, so that write
         # bandwidth is not starved outside of drain mode.
-        if len(write_queue) >= self._config.write_drain_low_watermark:
-            return self._first_ready(channel, flat_bank, bank_writes, row_of)
+        if write_backlog >= self._write_backlog_threshold:
+            return _first_ready(bank_writes, open_row, row_of)
         return None
 
-    @staticmethod
-    def _first_ready(channel: Channel, flat_bank: int,
-                     candidates: list[MemoryRequest],
-                     row_of) -> MemoryRequest | None:
-        """FR-FCFS selection among ``candidates`` for one bank."""
-        if not candidates:
-            return None
-        bank = channel.bank(flat_bank)
-        open_row = bank.open_row
-        if open_row is not None:
-            hits = [req for req in candidates if row_of(req) == open_row]
-            if hits:
-                return min(hits, key=lambda req: req.request_id)
-        return min(candidates, key=lambda req: req.request_id)
+
+def _first_ready(candidates: Sequence[MemoryRequest], open_row: int | None,
+                 row_of) -> MemoryRequest | None:
+    """FR-FCFS selection among one bank's ``candidates``.
+
+    ``candidates`` is in FCFS order, so the first open-row hit found is
+    the oldest hit, and the fallback is simply the front of the queue.
+    """
+    if not candidates:
+        return None
+    if open_row is not None:
+        if row_of is None:
+            for request in candidates:
+                if request.decoded.row == open_row:
+                    return request
+        else:
+            for request in candidates:
+                if row_of(request) == open_row:
+                    return request
+    return candidates[0]

@@ -108,9 +108,17 @@ class FIGCache(CachingMechanism):
         self._cfg = cache_config or FIGCacheConfig()
         self._cfg.validate(dram_config)
         self._figaro = FigaroEngine(dram_config)
+        self._segment_blocks = self._cfg.segment_blocks
         self._segments_per_source_row = (dram_config.blocks_per_row
                                          // self._cfg.segment_blocks)
-        self._banks: dict[int, _BankCache] = {}
+        #: Per-bank caches, eagerly built for every bank of the channel so
+        #: the tag stores and policies are constructed at system-assembly
+        #: time rather than lazily on the first access of each bank.
+        #: (:meth:`_bank_cache` still handles out-of-range flat banks for
+        #: callers that probe unusual topologies.)
+        self._banks: dict[int, _BankCache] = {
+            flat_bank: self._build_bank_cache()
+            for flat_bank in range(dram_config.banks_per_channel)}
         self.name = {
             "fast": "FIGCache-Fast",
             "slow": "FIGCache-Slow",
@@ -149,15 +157,22 @@ class FIGCache(CachingMechanism):
     # ------------------------------------------------------------------
     def effective_row(self, channel: Channel, decoded: DecodedAddress,
                       flat_bank: int) -> int:
-        bank_cache = self._bank_cache(flat_bank)
-        segment = decoded.column_block // self._cfg.segment_blocks
-        entry = bank_cache.tags.lookup(decoded.row, segment)
-        if entry is None:
-            return decoded.row
-        if self._prefer_source_row(channel, decoded, flat_bank, entry):
-            return decoded.row
-        cache_row = bank_cache.tags.cache_row_of_slot(entry.slot)
-        return bank_cache.cache_row_ids[cache_row]
+        # Called once per queued candidate on every scheduling attempt, so
+        # the miss path (no tag entry) must stay a couple of dict lookups.
+        bank_cache = self._banks.get(flat_bank)
+        if bank_cache is None:
+            bank_cache = self._bank_cache(flat_bank)
+        row = decoded.row
+        tags = bank_cache.tags
+        slot = tags._lookup.get(
+            (row, decoded.column_block // self._segment_blocks))
+        if slot is None:
+            return row
+        # Inline _prefer_source_row: clean cached copy + source row open.
+        if not tags._entries[slot].dirty \
+                and channel.bank(flat_bank).open_row == row:
+            return row
+        return bank_cache.cache_row_ids[slot // tags._segments_per_row]
 
     def _prefer_source_row(self, channel: Channel, decoded: DecodedAddress,
                            flat_bank: int, entry) -> bool:
@@ -178,64 +193,67 @@ class FIGCache(CachingMechanism):
 
     def service(self, channel: Channel, now: int, decoded: DecodedAddress,
                 flat_bank: int, is_write: bool) -> ServiceResult:
-        bank_cache = self._bank_cache(flat_bank)
+        """Serve one request: hit and miss paths fused for the hot loop."""
+        bank_cache = self._banks.get(flat_bank)
+        if bank_cache is None:
+            bank_cache = self._bank_cache(flat_bank)
         tags = bank_cache.tags
-        segment = decoded.column_block // self._cfg.segment_blocks
-        self.stats.cache_lookups += 1
+        row = decoded.row
+        segment = decoded.column_block // self._segment_blocks
+        stats = self.stats
+        stats.cache_lookups += 1
 
-        entry = tags.lookup(decoded.row, segment)
-        if entry is not None:
-            return self._serve_hit(channel, now, decoded, flat_bank,
-                                   is_write, bank_cache, entry)
-        return self._serve_miss(channel, now, decoded, flat_bank, is_write,
-                                bank_cache, segment)
+        # Inline FigTagStore.lookup.
+        slot = tags._lookup.get((row, segment))
+        if slot is not None:
+            # --- Hit path -------------------------------------------------
+            entry = tags._entries[slot]
+            stats.cache_hits += 1
+            # Inline FigTagStore.touch (the entry came from a lookup, so it
+            # is valid): bump benefit, recency, and dirtiness.
+            if entry.benefit < tags._benefit_max:
+                entry.benefit += 1
+            tags._touch_counter += 1
+            entry.last_touch = tags._touch_counter
+            if is_write:
+                entry.dirty = True
+            # Inline _prefer_source_row: the source row is still open and
+            # the cached copy is clean, so serve the request as a row hit
+            # from the source row.
+            if not is_write and not entry.dirty \
+                    and channel.bank(flat_bank).open_row == row:
+                target_row = row
+            else:
+                target_row = bank_cache.cache_row_ids[
+                    slot // tags._segments_per_row]
 
-    # ------------------------------------------------------------------
-    # Hit / miss paths.
-    # ------------------------------------------------------------------
-    def _serve_hit(self, channel: Channel, now: int, decoded: DecodedAddress,
-                   flat_bank: int, is_write: bool, bank_cache: _BankCache,
-                   entry) -> ServiceResult:
-        tags = bank_cache.tags
-        self.stats.cache_hits += 1
-        tags.touch(entry, is_write)
-        if not is_write \
-                and self._prefer_source_row(channel, decoded, flat_bank, entry):
-            # The source row is still open and the cached copy is clean:
-            # serve the request as a row hit from the source row.
-            target_row = decoded.row
-        else:
-            cache_row_index = tags.cache_row_of_slot(entry.slot)
-            target_row = bank_cache.cache_row_ids[cache_row_index]
+            access = channel.access(now, flat_bank, target_row, is_write)
+            # No relocation on a hit: the access result already carries the
+            # bank's post-access readiness.
+            return ServiceResult(access.completion_cycle,
+                                 access.bank_ready_cycle, access.outcome,
+                                 True, access.served_fast, 0)
 
-        access = channel.access(now, flat_bank, target_row, is_write)
-        bank = channel.bank(flat_bank)
-        return ServiceResult(completion_cycle=access.completion_cycle,
-                             bank_busy_until=bank.ready_for_next,
-                             row_buffer_outcome=access.outcome,
-                             in_dram_cache_hit=True,
-                             served_fast=access.served_fast,
-                             relocation_cycles=0)
-
-    def _serve_miss(self, channel: Channel, now: int, decoded: DecodedAddress,
-                    flat_bank: int, is_write: bool, bank_cache: _BankCache,
-                    segment: int) -> ServiceResult:
-        access = channel.access(now, flat_bank, decoded.row, is_write)
+        # --- Miss path ----------------------------------------------------
+        access = channel.access(now, flat_bank, row, is_write)
         relocation_cycles = 0
 
-        if self._may_cache(bank_cache, decoded.row) \
-                and bank_cache.insertion.should_insert(decoded.row, segment):
+        insertion = bank_cache.insertion
+        if (bank_cache.excluded_subarray < 0
+                or self._may_cache(bank_cache, row)) \
+                and (insertion.always_inserts
+                     or insertion.should_insert(row, segment)):
             relocation_cycles = self._insert_segment(
                 channel, access.completion_cycle, flat_bank, bank_cache,
-                decoded.row, segment, dirty=is_write)
-
-        bank = channel.bank(flat_bank)
-        return ServiceResult(completion_cycle=access.completion_cycle,
-                             bank_busy_until=bank.ready_for_next,
-                             row_buffer_outcome=access.outcome,
-                             in_dram_cache_hit=False,
-                             served_fast=access.served_fast,
-                             relocation_cycles=relocation_cycles)
+                row, segment, dirty=is_write)
+            # Relocation work may have pushed the bank's busy window past
+            # the access, so re-read its readiness.
+            bank_busy_until = channel.bank(flat_bank).ready_for_next
+        else:
+            bank_busy_until = access.bank_ready_cycle
+        return ServiceResult(access.completion_cycle, bank_busy_until,
+                             access.outcome, False, access.served_fast,
+                             relocation_cycles)
 
     def _insert_segment(self, channel: Channel, now: int, flat_bank: int,
                         bank_cache: _BankCache, source_row: int,
@@ -245,10 +263,8 @@ class FIGCache(CachingMechanism):
         relocation_cycles = 0
         current = now
 
-        free = tags.free_slots()
-        if free:
-            slot = free[0]
-        else:
+        slot = tags.first_free_slot()
+        if slot is None:
             slot, writeback_cycles, current = self._evict_for_space(
                 channel, current, flat_bank, bank_cache)
             relocation_cycles += writeback_cycles

@@ -18,6 +18,10 @@ class InsertionPolicy(abc.ABC):
 
     name = "abstract"
 
+    #: True when :meth:`should_insert` unconditionally returns True, letting
+    #: the per-miss hot path skip the call entirely.
+    always_inserts = False
+
     @abc.abstractmethod
     def should_insert(self, source_row: int, source_segment: int) -> bool:
         """Return True when the missed segment should be cached now."""
@@ -33,6 +37,7 @@ class InsertAnyMissPolicy(InsertionPolicy):
     """Insert every segment that misses (the paper's default, threshold 1)."""
 
     name = "insert-any-miss"
+    always_inserts = True
 
     def should_insert(self, source_row: int, source_segment: int) -> bool:
         return True

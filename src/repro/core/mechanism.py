@@ -17,9 +17,13 @@ from repro.dram.address import DecodedAddress
 from repro.dram.channel import Channel
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ServiceResult:
-    """Outcome of servicing one request through a caching mechanism."""
+    """Outcome of servicing one request through a caching mechanism.
+
+    A plain slotted record (not frozen): one is created per serviced
+    request, on the scheduling hot path.  Treat as read-only.
+    """
 
     #: Cycle at which the requested data transfer finished.
     completion_cycle: int
@@ -71,6 +75,24 @@ class CachingMechanism(abc.ABC):
     """Base class for in-DRAM caching mechanisms (and the no-cache Base)."""
 
     name = "abstract"
+
+    #: Whether :meth:`effective_row` can ever differ from the address row.
+    #: Mechanisms that never remap (the no-cache Base/LL-DRAM) set this to
+    #: False, letting the FR-FCFS scheduler read ``request.decoded.row``
+    #: directly instead of calling the hook once per queued candidate on
+    #: every scheduling attempt.  Mechanisms with an in-DRAM cache keep the
+    #: default: their per-bank view (the FIGCache tag store, LISA-VILLA's
+    #: row cache) decides where each request is actually served.
+    remaps_rows = True
+
+    #: Whether :meth:`service` is exactly one column access to the address
+    #: row with no cache bookkeeping and no relocations.  Mechanisms that
+    #: set this to True (Base/LL-DRAM) let the channel controller serve
+    #: requests straight through ``Channel.access``, skipping the
+    #: :meth:`service` call and the :class:`ServiceResult` wrapper on the
+    #: per-request hot path.  Must only be True when :meth:`service` has no
+    #: observable effect beyond the access itself.
+    direct_access = False
 
     def __init__(self) -> None:
         self.stats = MechanismStats()

@@ -87,22 +87,36 @@ class RowBenefitReplacement(ReplacementPolicy):
             self._eviction_row = None
 
     def _select_new_eviction_row(self) -> None:
-        """Mark the cache row with the lowest cumulative benefit for eviction."""
-        rows = range(self._tags.num_cache_rows)
-        scored = []
-        for cache_row in rows:
-            valid_slots = [slot for slot in self._tags.slots_of_cache_row(cache_row)
-                           if self._tags.entry(slot).valid]
-            if not valid_slots:
-                continue
-            scored.append((self._tags.row_benefit(cache_row), cache_row))
-        if not scored:
+        """Mark the cache row with the lowest cumulative benefit for eviction.
+
+        One pass over the tag store accumulates each cache row's cumulative
+        benefit; the row with the lowest total (ties: lowest row index,
+        matching ``min`` over ``(benefit, row)`` pairs) wins.
+        """
+        entries = self._tags.entries()
+        segments_per_row = self._tags.segments_per_row
+        num_rows = self._tags.num_cache_rows
+        totals = [0] * num_rows
+        has_valid = [False] * num_rows
+        for index, entry in enumerate(entries):
+            if entry.valid:
+                cache_row = index // segments_per_row
+                totals[cache_row] += entry.benefit
+                has_valid[cache_row] = True
+        chosen = None
+        for cache_row in range(num_rows):
+            if has_valid[cache_row] and (chosen is None
+                                         or totals[cache_row]
+                                         < totals[chosen]):
+                chosen = cache_row
+        if chosen is None:
             raise ValueError("no valid entries to evict")
-        _, chosen = min(scored)
         self._eviction_row = chosen
-        self._marked_slots = {slot
-                              for slot in self._tags.slots_of_cache_row(chosen)
-                              if self._tags.entry(slot).valid}
+        first = chosen * segments_per_row
+        self._marked_slots = {
+            entry.slot
+            for entry in entries[first:first + segments_per_row]
+            if entry.valid}
 
 
 class SegmentBenefitReplacement(ReplacementPolicy):

@@ -13,9 +13,10 @@ the benefit-based replacement policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 
-@dataclass
+@dataclass(slots=True)
 class TagEntry:
     """One FTS entry: metadata for one in-DRAM cache slot."""
 
@@ -43,6 +44,8 @@ class TagEntry:
 class FigTagStore:
     """Fully-associative tag store for the in-DRAM cache of one bank."""
 
+    __slots__ = ('_num_cache_rows', '_segments_per_row', '_benefit_max', '_entries', '_lookup', '_touch_counter', '_free_heap')
+
     def __init__(self, num_cache_rows: int, segments_per_row: int,
                  benefit_bits: int = 5):
         if num_cache_rows <= 0 or segments_per_row <= 0:
@@ -56,6 +59,12 @@ class FigTagStore:
         self._lookup: dict[tuple[int, int], int] = {}
         #: Monotonic counter for recency bookkeeping.
         self._touch_counter = 0
+        #: Min-heap of candidate free slots: seeded with every slot (a
+        #: sorted range is a valid heap) and re-fed by :meth:`evict`.
+        #: Entries that have since been filled are pruned lazily, so
+        #: :meth:`first_free_slot` is O(log slots) amortised instead of the
+        #: full-store scan :meth:`free_slots` performs.
+        self._free_heap: list[int] = list(range(len(self._entries)))
 
     # ------------------------------------------------------------------
     # Geometry.
@@ -130,6 +139,24 @@ class FigTagStore:
         """Slots not currently holding a valid segment."""
         return [entry.slot for entry in self._entries if not entry.valid]
 
+    def first_free_slot(self) -> int | None:
+        """Lowest-index slot not holding a valid segment, or None when full.
+
+        Equivalent to ``free_slots()[0]`` (every invalid slot is always a
+        heap candidate: all slots are seeded at construction and
+        :meth:`evict` re-adds the slot it frees) but served from the lazy
+        free-slot heap instead of scanning every entry.
+        """
+        heap = self._free_heap
+        entries = self._entries
+        while heap:
+            slot = heap[0]
+            if entries[slot].valid:
+                heappop(heap)
+                continue
+            return slot
+        return None
+
     def insert(self, slot: int, source_row: int, source_segment: int,
                dirty: bool = False) -> TagEntry:
         """Fill ``slot`` with a newly cached segment."""
@@ -164,6 +191,7 @@ class FigTagStore:
         entry.benefit = 0
         entry.source_row = -1
         entry.source_segment = -1
+        heappush(self._free_heap, slot)
         return snapshot
 
     def occupancy(self) -> float:

@@ -20,6 +20,7 @@ requests completes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.cpu.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cpu.mshr import MSHRFile
@@ -36,7 +37,7 @@ class CoreConfig:
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core statistics gathered during simulation."""
 
@@ -56,7 +57,7 @@ class CoreStats:
         return self.instructions / self.finish_cycle
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingMiss:
     """A load miss the core is still waiting on."""
 
@@ -67,16 +68,19 @@ class _OutstandingMiss:
     blocks_window: bool
 
 
-@dataclass
-class IssuedRequest:
-    """A memory request the core wants to send, with its issue time."""
+class IssuedRequest(NamedTuple):
+    """A memory request the core wants to send, with its issue time.
+
+    A named tuple: one is created per memory request on the issue hot
+    path, and the simulator unpacks it positionally.
+    """
 
     issue_cycle: int
     address: int
     is_write: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreRunResult:
     """Outcome of one :meth:`TraceCore.run` call."""
 
@@ -91,6 +95,14 @@ class CoreRunResult:
 class TraceCore:
     """One trace-driven core."""
 
+    __slots__ = ('core_id', '_trace', '_config', 'hierarchy', 'mshrs',
+                 'stats', '_issue_width', '_window_size', '_block_mask',
+                 '_mshr_entries', '_mshr_capacity', '_mshr_shift',
+                 '_hierarchy_access', '_run_hot',
+                 '_trace_fast', '_trace_length', '_core_cycle',
+                 '_next_record', '_issued_instructions', '_outstanding',
+                 '_finished')
+
     def __init__(self, core_id: int, trace: list[TraceRecord],
                  config: CoreConfig | None = None):
         self.core_id = core_id
@@ -99,6 +111,25 @@ class TraceCore:
         self.hierarchy = CacheHierarchy(self._config.hierarchy)
         self.mshrs = MSHRFile(self._config.mshr_entries)
         self.stats = CoreStats()
+        # Hot-path constants hoisted out of the per-record loop.
+        self._issue_width = self._config.issue_width
+        self._window_size = self._config.window_size
+        self._block_mask = ~(self.hierarchy.l1.config.block_size_bytes - 1)
+        self._mshr_entries = self.mshrs.entries
+        self._mshr_capacity = self.mshrs.num_entries
+        self._mshr_shift = self.mshrs._offset_bits
+        self._hierarchy_access = self.hierarchy.access
+        #: The trace flattened to (issue_cycles, instructions, address,
+        #: is_write) tuples: the issue loop needs the issue-bandwidth cost
+        #: and instruction count of each record, and precomputing them here
+        #: replaces a ceiling division plus three attribute loads per record
+        #: with one tuple unpack.
+        issue_width = self._issue_width
+        self._trace_fast = [
+            (max((record.bubbles + 1 + issue_width - 1) // issue_width, 1),
+             record.bubbles + 1, record.address, record.is_write)
+            for record in trace]
+        self._trace_length = len(trace)
         #: Core-local clock: the cycle up to which the core has issued work.
         self._core_cycle = 0
         #: Index of the next trace record to execute.
@@ -108,6 +139,15 @@ class TraceCore:
         #: Outstanding LLC load misses, in program order.
         self._outstanding: list[_OutstandingMiss] = []
         self._finished = False
+        #: Everything the issue loop needs, as one tuple: :meth:`run` is
+        #: called once per unblocking completion and often issues only a
+        #: couple of records, so its fixed setup cost (a dozen attribute
+        #: loads) matters; one load plus an unpack is cheaper.
+        self._run_hot = (self._trace_fast, self._trace_length,
+                         self._mshr_entries, self._mshr_capacity,
+                         self._outstanding, self._window_size,
+                         self._issue_width, self._hierarchy_access,
+                         self.mshrs, self._mshr_shift, self.stats)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -148,25 +188,111 @@ class TraceCore:
         controller at those times and for calling :meth:`notify_completion`
         when each read completes.
         """
+        requests = self.run_requests(now)
         if self._finished:
-            return CoreRunResult(requests=[], finished=True, stalled=False)
-        self._core_cycle = max(self._core_cycle, now)
-        requests: list[IssuedRequest] = []
-
-        while self._next_record < len(self._trace):
-            stall_reason = self._stall_reason()
-            if stall_reason is not None:
-                return CoreRunResult(requests=requests, finished=False,
-                                     stalled=True)
-            record = self._trace[self._next_record]
-            self._next_record += 1
-            self._execute_record(record, requests)
-
-        if not self._outstanding:
-            self._retire()
             return CoreRunResult(requests=requests, finished=True,
                                  stalled=False)
         return CoreRunResult(requests=requests, finished=False, stalled=True)
+
+    def run_requests(self, now: int) -> list[IssuedRequest]:
+        """Hot-path variant of :meth:`run`: returns only the issued requests.
+
+        The simulator needs nothing else per core-run event — whether the
+        core finished or stalled is observable via :attr:`finished` — so
+        the ``CoreRunResult`` wrapper is built only for :meth:`run` callers.
+        """
+        if self._finished:
+            return []
+        if now > self._core_cycle:
+            self._core_cycle = now
+        requests: list[IssuedRequest] = []
+
+        # The whole issue loop runs on locals (written back before every
+        # return): it executes once per trace record, and both a method
+        # call per record and repeated attribute loads are measurable.  The
+        # stall conditions mirror :meth:`_stall_reason`; the record
+        # execution mirrors the former ``_execute_record``.
+        (trace, trace_length, mshr_entries, mshr_capacity, outstanding,
+         window_size, issue_width, hierarchy_access, mshrs, mshr_shift,
+         run_stats) = self._run_hot
+        next_record = self._next_record
+        core_cycle = self._core_cycle
+        issued_instructions = self._issued_instructions
+        # Statistics accumulate in locals and flush once after the loop.
+        new_instructions = 0
+        new_memory_instructions = 0
+        new_writebacks = 0
+        new_miss_loads = 0
+        new_miss_stores = 0
+        stalled = False
+        while next_record < trace_length:
+            if len(mshr_entries) >= mshr_capacity:
+                stalled = True
+                break
+            if outstanding:
+                oldest = outstanding[0]
+                if oldest.blocks_window \
+                        and (issued_instructions
+                             - oldest.instruction_position) >= window_size:
+                    stalled = True
+                    break
+            issue_cycles, instructions, address, is_write = \
+                trace[next_record]
+            next_record += 1
+
+            core_cycle += issue_cycles
+            issued_instructions += instructions
+            new_instructions += instructions
+            new_memory_instructions += 1
+
+            access = hierarchy_access(address, is_write)
+            core_cycle += access.exposed_latency
+
+            for writeback_address in access.writebacks:
+                new_writebacks += 1
+                requests.append(IssuedRequest(core_cycle, writeback_address,
+                                              True))
+            if not access.needs_memory:
+                continue
+
+            # Inline MSHRFile.allocate: the loop head guarantees a free
+            # entry, so the full-file error path cannot trigger here.
+            block = address >> mshr_shift
+            merged_count = mshr_entries.get(block)
+            if merged_count is None:
+                mshr_entries[block] = 1
+                mshrs.allocations += 1
+                new_entry = True
+            else:
+                mshr_entries[block] = merged_count + 1
+                mshrs.merges += 1
+                new_entry = False
+            if is_write:
+                new_miss_stores += 1
+            else:
+                new_miss_loads += 1
+            if new_entry:
+                requests.append(IssuedRequest(core_cycle, address, False))
+                outstanding.append(_OutstandingMiss(address,
+                                                    issued_instructions,
+                                                    not is_write))
+            elif not is_write:
+                # The miss merged into an existing MSHR; the load still
+                # blocks the window on the earlier request's completion.
+                outstanding.append(_OutstandingMiss(address,
+                                                    issued_instructions,
+                                                    True))
+        self._next_record = next_record
+        self._core_cycle = core_cycle
+        self._issued_instructions = issued_instructions
+        run_stats.instructions += new_instructions
+        run_stats.memory_instructions += new_memory_instructions
+        run_stats.writebacks += new_writebacks
+        run_stats.llc_miss_loads += new_miss_loads
+        run_stats.llc_miss_stores += new_miss_stores
+        if not stalled and not outstanding:
+            self._retire()
+        return requests
 
     def notify_completion(self, address: int, completion_cycle: int) -> bool:
         """A read request issued by this core completed.
@@ -177,18 +303,36 @@ class TraceCore:
         a younger miss returning early does not release an older window
         stall.
         """
-        block_mask = ~(self.hierarchy.l1.config.block_size_bytes - 1)
+        block_mask = self._block_mask
         block = address & block_mask
-        matched = [miss for miss in self._outstanding
-                   if (miss.address & block_mask) == block]
-        if not matched:
+        outstanding = self._outstanding
+        kept = [miss for miss in outstanding
+                if (miss.address & block_mask) != block]
+        if len(kept) == len(outstanding):
             return False
-        stalled_before = self._stall_reason() is not None
-        for miss in matched:
-            self._outstanding.remove(miss)
-        self.mshrs.release(address)
+        # Stall checks inline (mirroring _stall_reason): once against the
+        # state before the completion is applied, once after.
+        mshr_entries = self._mshr_entries
+        window_size = self._window_size
+        oldest = outstanding[0]
+        stalled_before = len(mshr_entries) >= self._mshr_capacity \
+            or (oldest.blocks_window
+                and (self._issued_instructions
+                     - oldest.instruction_position) >= window_size)
+        # In-place so aliases of the outstanding list stay valid.
+        outstanding[:] = kept
+        # Inline MSHRFile.release (the entry must exist: an outstanding
+        # miss for the block implies a live MSHR).
+        del mshr_entries[address >> self._mshr_shift]
 
-        can_progress = self._stall_reason() is None
+        if kept:
+            oldest = kept[0]
+            can_progress = not (oldest.blocks_window
+                                and (self._issued_instructions
+                                     - oldest.instruction_position)
+                                >= window_size)
+        else:
+            can_progress = True
         if can_progress and completion_cycle > self._core_cycle:
             # The core could not issue past this point until the data came
             # back; charge the wait as stall time and advance the clock.
@@ -198,7 +342,7 @@ class TraceCore:
             else:
                 self.stats.stall_cycles_window += stall
             self._core_cycle = completion_cycle
-        if self._next_record >= len(self._trace) and not self._outstanding:
+        if self._next_record >= self._trace_length and not self._outstanding:
             self._retire()
         return can_progress and not self._finished
 
@@ -207,56 +351,16 @@ class TraceCore:
     # ------------------------------------------------------------------
     def _stall_reason(self) -> str | None:
         """Why the core cannot issue the next record right now, if at all."""
-        if self.mshrs.is_full():
+        if len(self._mshr_entries) >= self._mshr_capacity:
             return "mshr"
-        if self._outstanding:
-            oldest = self._outstanding[0]
-            in_flight = self._issued_instructions - oldest.instruction_position
-            if oldest.blocks_window and in_flight >= self._config.window_size:
+        outstanding = self._outstanding
+        if outstanding:
+            oldest = outstanding[0]
+            if oldest.blocks_window \
+                    and (self._issued_instructions
+                         - oldest.instruction_position) >= self._window_size:
                 return "window"
         return None
-
-    def _execute_record(self, record: TraceRecord,
-                        requests: list[IssuedRequest]) -> None:
-        """Issue one trace record: its bubbles plus its memory instruction."""
-        issue_cycles = (record.bubbles + 1 + self._config.issue_width - 1) \
-            // self._config.issue_width
-        self._core_cycle += max(issue_cycles, 1)
-        self._issued_instructions += record.bubbles + 1
-        self.stats.instructions += record.bubbles + 1
-        self.stats.memory_instructions += 1
-
-        access = self.hierarchy.access(record.address, record.is_write)
-        self._core_cycle += access.exposed_latency
-
-        for writeback_address in access.writebacks:
-            self.stats.writebacks += 1
-            requests.append(IssuedRequest(issue_cycle=self._core_cycle,
-                                          address=writeback_address,
-                                          is_write=True))
-        if not access.needs_memory:
-            return
-
-        new_entry = self.mshrs.allocate(record.address)
-        if record.is_write:
-            self.stats.llc_miss_stores += 1
-        else:
-            self.stats.llc_miss_loads += 1
-        if new_entry:
-            requests.append(IssuedRequest(issue_cycle=self._core_cycle,
-                                          address=record.address,
-                                          is_write=False))
-            self._outstanding.append(_OutstandingMiss(
-                address=record.address,
-                instruction_position=self._issued_instructions,
-                blocks_window=not record.is_write))
-        elif not record.is_write:
-            # The miss merged into an existing MSHR; the load still blocks
-            # the window on the earlier request's completion.
-            self._outstanding.append(_OutstandingMiss(
-                address=record.address,
-                instruction_position=self._issued_instructions,
-                blocks_window=True))
 
     def _retire(self) -> None:
         self._finished = True

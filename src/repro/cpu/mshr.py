@@ -12,38 +12,42 @@ from __future__ import annotations
 class MSHRFile:
     """Outstanding-miss tracking for one core."""
 
+    __slots__ = ('num_entries', '_offset_bits', 'entries', 'allocations', 'merges')
+
     def __init__(self, num_entries: int, block_size_bytes: int = 64):
         if num_entries <= 0:
             raise ValueError("an MSHR file needs at least one entry")
         if block_size_bytes <= 0 or block_size_bytes & (block_size_bytes - 1):
             raise ValueError("block size must be a positive power of two")
-        self._num_entries = num_entries
+        self.num_entries = num_entries
         self._offset_bits = block_size_bytes.bit_length() - 1
-        #: Map from block address to the number of merged misses.
-        self._entries: dict[int, int] = {}
+        #: Map from block address to the number of merged misses.  Public so
+        #: the core's stall check can test fullness inline without a method
+        #: call per issued record; treat as read-only outside this class.
+        self.entries: dict[int, int] = {}
         self.allocations = 0
         self.merges = 0
 
     @property
     def capacity(self) -> int:
         """Number of MSHR entries."""
-        return self._num_entries
+        return self.num_entries
 
     @property
     def occupancy(self) -> int:
         """Entries currently allocated."""
-        return len(self._entries)
+        return len(self.entries)
 
     def is_full(self) -> bool:
         """True when no new block miss can be tracked."""
-        return len(self._entries) >= self._num_entries
+        return len(self.entries) >= self.num_entries
 
     def _block(self, address: int) -> int:
         return address >> self._offset_bits
 
     def has_entry(self, address: int) -> bool:
         """True when a miss to this block is already outstanding."""
-        return self._block(address) in self._entries
+        return self._block(address) in self.entries
 
     def allocate(self, address: int) -> bool:
         """Track a miss to ``address``.
@@ -54,19 +58,19 @@ class MSHRFile:
         MSHR file is full — callers must check :meth:`is_full` first.
         """
         block = self._block(address)
-        if block in self._entries:
-            self._entries[block] += 1
+        if block in self.entries:
+            self.entries[block] += 1
             self.merges += 1
             return False
         if self.is_full():
             raise RuntimeError("MSHR file is full")
-        self._entries[block] = 1
+        self.entries[block] = 1
         self.allocations += 1
         return True
 
     def release(self, address: int) -> int:
         """Free the entry for ``address``; returns the merged miss count."""
         block = self._block(address)
-        if block not in self._entries:
+        if block not in self.entries:
             raise KeyError(f"no MSHR entry for block {block:#x}")
-        return self._entries.pop(block)
+        return self.entries.pop(block)

@@ -24,12 +24,14 @@ def _log2_exact(value: int, name: str) -> int:
     return value.bit_length() - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedAddress:
     """A physical address decoded into DRAM coordinates.
 
     The flat bank index within a channel depends on the configuration, so it
     is computed by :meth:`AddressMapper.flat_bank` rather than stored here.
+    Instances are immutable; the memory controller interns one per distinct
+    address, shared by every request that touches the block.
     """
 
     channel: int
@@ -65,6 +67,8 @@ class AddressMapper:
                                       "ranks_per_channel") \
             if config.ranks_per_channel > 1 else 0
         self._rows = config.regular_rows_per_bank
+        self._banks_per_rank = config.banks_per_rank
+        self._banks_per_bankgroup = config.banks_per_bankgroup
 
     @property
     def config(self) -> DRAMConfig:
@@ -72,7 +76,12 @@ class AddressMapper:
         return self._config
 
     def decode(self, address: int) -> DecodedAddress:
-        """Decode a byte address into DRAM coordinates."""
+        """Decode a byte address into DRAM coordinates.
+
+        The memory controller memoizes decode results per address (see
+        ``MemoryController._route_cache``), so each distinct address is
+        decoded once per simulation on the hot path.
+        """
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
         bits = address >> self._offset_bits
@@ -104,8 +113,8 @@ class AddressMapper:
 
     def flat_bank(self, decoded: DecodedAddress) -> int:
         """Return the bank index within a channel, folding in the bank group."""
-        return (decoded.rank * self._config.banks_per_rank
-                + decoded.bankgroup * self._config.banks_per_bankgroup
+        return (decoded.rank * self._banks_per_rank
+                + decoded.bankgroup * self._banks_per_bankgroup
                 + decoded.bank)
 
     def segment_of(self, decoded: DecodedAddress, blocks_per_segment: int) -> int:

@@ -25,9 +25,15 @@ from repro.dram.rank import Rank
 from repro.dram.timings import TimingSet
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one column access serviced by a bank."""
+    """Outcome of one column access serviced by a bank.
+
+    Plain slotted records (not frozen): one is created per serviced
+    request, and frozen-dataclass construction costs an ``object.__setattr__``
+    per field on the hottest allocation site in the model.  Treat as
+    read-only.
+    """
 
     #: Cycle at which the first command of the access was issued.
     issue_cycle: int
@@ -41,7 +47,7 @@ class AccessResult:
     served_fast: bool
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class RelocationResult:
     """Outcome of relocating one row segment with FIGARO RELOC commands."""
 
@@ -60,6 +66,12 @@ class RelocationResult:
 class Bank:
     """Timing state for one DRAM bank (shared across the chips of a rank)."""
 
+    __slots__ = ('_config', '_rank', '_key', '_counters', '_slow', '_fast',
+                 '_all_fast', '_regular_rows', '_trrd', '_tfaw',
+                 '_read_hot', '_write_hot', 'open_row',
+                 '_last_act', '_next_act_allowed', '_next_col_allowed',
+                 '_next_pre_allowed', '_busy_until')
+
     def __init__(self, config: DRAMConfig, rank: Rank, bank_key: tuple,
                  counters: CommandCounters):
         self._config = config
@@ -68,6 +80,24 @@ class Bank:
         self._counters = counters
         self._slow = config.slow_timing_set()
         self._fast = config.fast_timing_set()
+        #: Fast-region predicate hoisted out of the per-access path: a row
+        #: is fast when every subarray is fast or when it lies at or above
+        #: the regular-row boundary (fast subarrays are appended after all
+        #: regular rows).
+        self._all_fast = config.all_subarrays_fast
+        self._regular_rows = config.regular_rows_per_bank
+        #: Rank activation-pacing constants, hoisted for the inline tRRD /
+        #: tFAW check in :meth:`_activate` (rank timings are the slow set).
+        self._trrd = rank.timing.trrd
+        self._tfaw = rank.timing.tfaw
+        #: Column-access timing constants per (timing set, direction), as
+        #: tuples so :meth:`access` does one load plus an unpack instead of
+        #: five attribute loads through the TimingSet.
+        self._read_hot = tuple(
+            (t.tcl, t.tbl, t.tccd, t.trtp) for t in (self._slow, self._fast))
+        self._write_hot = tuple(
+            (t.tcwl, t.tbl, t.tccd, t.twtr, t.twr)
+            for t in (self._slow, self._fast))
         #: Row currently latched in a local row buffer, or None if precharged.
         self.open_row: int | None = None
         #: Cycle of the most recent ACTIVATE (governs tRAS).
@@ -108,7 +138,7 @@ class Bank:
 
     def timing_for_row(self, row: int) -> TimingSet:
         """Return the timing set that applies to ``row``."""
-        if self._config.is_fast_row(row):
+        if self._all_fast or row >= self._regular_rows:
             return self._fast
         return self._slow
 
@@ -141,37 +171,74 @@ class Bank:
         constraints.  The caller (channel controller) is responsible for
         advancing its own bus-free pointer to ``completion_cycle``.
         """
-        timing = self.timing_for_row(row)
-        served_fast = self._config.is_fast_row(row)
-        start = max(now, self._busy_until)
+        served_fast = self._all_fast or row >= self._regular_rows
+        timing = self._fast if served_fast else self._slow
+        counters = self._counters
+        busy_until = self._busy_until
+        start = now if now > busy_until else busy_until
+        open_row = self.open_row
 
-        if self.open_row == row:
+        if open_row == row:
             outcome = "hit"
-            col_cycle = max(start, self._next_col_allowed)
-        elif self.open_row is None:
+            counters.row_hits += 1
+            next_col = self._next_col_allowed
+            col_cycle = start if start > next_col else next_col
+        elif open_row is None:
             outcome = "miss"
+            counters.row_misses += 1
             col_cycle = self._activate(start, row, timing)
         else:
             outcome = "conflict"
-            pre_cycle = max(start, self._next_pre_allowed)
-            act_cycle = pre_cycle + self.timing_for_row(self.open_row).trp
-            self._counters.record_command(Command.PRECHARGE)
+            counters.row_conflicts += 1
+            next_pre = self._next_pre_allowed
+            pre_cycle = start if start > next_pre else next_pre
+            act_cycle = pre_cycle + self.timing_for_row(open_row).trp
+            counters.precharges += 1
             col_cycle = self._activate(act_cycle, row, timing,
                                        already_constrained=True)
 
-        data_latency = timing.tcwl if is_write else timing.tcl
-        # The data burst must also wait for the shared channel bus.
-        burst_start = max(col_cycle + data_latency, bus_free_at)
-        col_cycle = burst_start - data_latency
-        completion = burst_start + timing.tbl
+        # Inline the burst timing, _update_after_column, and the command
+        # counters, reading the timing constants from the precomputed
+        # per-direction tuples.
+        if is_write:
+            data_latency, tbl, tccd, twtr, twr = self._write_hot[served_fast]
+            burst_start = col_cycle + data_latency
+            if burst_start < bus_free_at:
+                # The data burst must also wait for the shared channel bus.
+                burst_start = bus_free_at
+                col_cycle = burst_start - data_latency
+            completion = burst_start + tbl
+            counters.writes += 1
+            if served_fast:
+                counters.fast_writes += 1
+            # Write recovery: the written data must reach the cells before
+            # a PRECHARGE; reads after writes pay the turnaround.
+            next_col = col_cycle + tccd
+            turnaround = completion + twtr
+            if turnaround > next_col:
+                next_col = turnaround
+            next_pre = completion + twr
+        else:
+            data_latency, tbl, tccd, trtp = self._read_hot[served_fast]
+            burst_start = col_cycle + data_latency
+            if burst_start < bus_free_at:
+                burst_start = bus_free_at
+                col_cycle = burst_start - data_latency
+            completion = burst_start + tbl
+            counters.reads += 1
+            if served_fast:
+                counters.fast_reads += 1
+            next_col = col_cycle + tccd
+            next_pre = col_cycle + trtp
+        if next_col > self._next_col_allowed:
+            self._next_col_allowed = next_col
+        if next_pre > self._next_pre_allowed:
+            self._next_pre_allowed = next_pre
+        if col_cycle > self._busy_until:
+            self._busy_until = col_cycle
 
-        self._record_column(is_write, served_fast)
-        self._counters.record_outcome(outcome)
-        self._update_after_column(col_cycle, completion, is_write, timing)
-
-        return AccessResult(issue_cycle=start, completion_cycle=completion,
-                            bank_ready_cycle=self._next_col_allowed,
-                            outcome=outcome, served_fast=served_fast)
+        return AccessResult(start, completion, self._next_col_allowed,
+                            outcome, served_fast)
 
     def precharge(self, now: int) -> int:
         """Explicitly close the open row; returns the cycle the bank is idle."""
@@ -215,6 +282,7 @@ class Bank:
         src_timing = self.timing_for_row(source_row)
         dst_timing = self.timing_for_row(destination_row)
 
+        counters = self._counters
         start = max(now, self._busy_until)
         source_was_open = self.open_row == source_row
         activates = 0
@@ -224,11 +292,13 @@ class Bank:
             if self.open_row is not None:
                 pre_cycle = max(cycle, self._next_pre_allowed)
                 cycle = pre_cycle + self.timing_for_row(self.open_row).trp
-                self._counters.record_command(Command.PRECHARGE)
+                counters.precharges += 1
             cycle = max(cycle, self._next_act_allowed)
-            self._counters.record_command(Command.ACTIVATE,
-                                          fast=self._config.is_fast_row(source_row))
-            self._counters.record_row_activation(self._key, source_row)
+            counters.activates += 1
+            if self._all_fast or source_row >= self._regular_rows:
+                counters.fast_activates += 1
+            if counters.track_row_activations:
+                counters.record_row_activation(self._key, source_row)
             activates += 1
             # The source row must be fully restored (tRAS) before its local
             # row buffer can drive the global row buffer for RELOC.
@@ -241,20 +311,21 @@ class Bank:
 
         # One RELOC per cache block in the segment.
         cycle += num_blocks * src_timing.treloc
-        for _ in range(num_blocks):
-            self._counters.record_command(Command.RELOC)
+        counters.relocs += num_blocks
 
         # ACTIVATE the destination row to latch the relocated columns into
         # the destination cells, then PRECHARGE the bank.  The destination
         # bitlines are already driven to stable values by the GRB, so the
         # paper accounts tRCD (not a full tRAS) for this activation, giving
         # the 63.5 ns end-to-end figure of Section 4.2.
-        self._counters.record_command(Command.ACTIVATE,
-                                      fast=self._config.is_fast_row(destination_row))
-        self._counters.record_row_activation(self._key, destination_row)
+        counters.activates += 1
+        if self._all_fast or destination_row >= self._regular_rows:
+            counters.fast_activates += 1
+        if counters.track_row_activations:
+            counters.record_row_activation(self._key, destination_row)
         activates += 1
         cycle += dst_timing.trcd
-        self._counters.record_command(Command.PRECHARGE)
+        counters.precharges += 1
         cycle += dst_timing.trp
 
         if keep_source_open and source_was_open:
@@ -365,35 +436,32 @@ class Bank:
     def _activate(self, earliest: int, row: int, timing: TimingSet,
                   already_constrained: bool = False) -> int:
         """Issue an ACTIVATE for ``row``; returns the earliest column cycle."""
-        act_cycle = earliest if already_constrained \
-            else max(earliest, self._next_act_allowed)
-        act_cycle = self._rank.constrain_activate(act_cycle)
-        self._rank.note_activate(act_cycle)
-        self._counters.record_command(Command.ACTIVATE,
-                                      fast=self._config.is_fast_row(row))
-        self._counters.record_row_activation(self._key, row)
+        if not already_constrained and earliest < self._next_act_allowed:
+            earliest = self._next_act_allowed
+        # Inline rank activation pacing (Rank.constrain_activate +
+        # note_activate): tRRD from the previous ACTIVATE, tFAW over the
+        # last four.
+        rank = self._rank
+        act_cycle = earliest
+        rrd_earliest = rank._last_activate + self._trrd
+        if rrd_earliest > act_cycle:
+            act_cycle = rrd_earliest
+        recent = rank._recent_activates
+        if len(recent) == 4:
+            faw_earliest = recent[0] + self._tfaw
+            if faw_earliest > act_cycle:
+                act_cycle = faw_earliest
+        rank._last_activate = act_cycle
+        recent.append(act_cycle)
+        counters = self._counters
+        counters.activates += 1
+        if self._all_fast or row >= self._regular_rows:
+            counters.fast_activates += 1
+        if counters.track_row_activations:
+            counters.record_row_activation(self._key, row)
         self.open_row = row
         self._last_act = act_cycle
         # tRAS governs the earliest PRECHARGE after this ACTIVATE.
         self._next_pre_allowed = act_cycle + timing.tras
         return act_cycle + timing.trcd
 
-    def _record_column(self, is_write: bool, fast: bool) -> None:
-        command = Command.WRITE if is_write else Command.READ
-        self._counters.record_command(command, fast=fast)
-
-    def _update_after_column(self, col_cycle: int, completion: int,
-                             is_write: bool, timing: TimingSet) -> None:
-        self._next_col_allowed = max(self._next_col_allowed,
-                                     col_cycle + timing.tccd)
-        if is_write:
-            # Write recovery: the written data must reach the cells before a
-            # PRECHARGE; reads after writes pay the write-to-read turnaround.
-            self._next_pre_allowed = max(self._next_pre_allowed,
-                                         completion + timing.twr)
-            self._next_col_allowed = max(self._next_col_allowed,
-                                         completion + timing.twtr)
-        else:
-            self._next_pre_allowed = max(self._next_pre_allowed,
-                                         col_cycle + timing.trtp)
-        self._busy_until = max(self._busy_until, col_cycle)

@@ -16,6 +16,8 @@ from repro.dram.rank import Rank
 class Channel:
     """Timing state for one memory channel."""
 
+    __slots__ = ('_config', '_id', 'counters', '_ranks', '_banks', '_rank_of', '_bus_free_at')
+
     def __init__(self, config: DRAMConfig, channel_id: int,
                  refresh_enabled: bool = True,
                  track_row_activations: bool = False):
@@ -27,11 +29,14 @@ class Channel:
         self._ranks = [Rank(slow, refresh_enabled=refresh_enabled)
                        for _ in range(config.ranks_per_channel)]
         self._banks: list[Bank] = []
+        #: Owning rank per flat bank index (avoids a division per access).
+        self._rank_of: list[Rank] = []
         for rank_id, rank in enumerate(self._ranks):
             for bankgroup in range(config.bankgroups_per_rank):
                 for bank in range(config.banks_per_bankgroup):
                     key = (channel_id, rank_id, bankgroup, bank)
                     self._banks.append(Bank(config, rank, key, self.counters))
+                    self._rank_of.append(rank)
         #: Earliest cycle the shared data bus is free.
         self._bus_free_at = 0
 
@@ -63,8 +68,7 @@ class Channel:
 
     def rank_of_bank(self, flat_bank: int) -> Rank:
         """Return the rank that owns the given flat bank index."""
-        rank_id = flat_bank // self._config.banks_per_rank
-        return self._ranks[rank_id]
+        return self._rank_of[flat_bank]
 
     @property
     def bus_free_at(self) -> int:
@@ -77,9 +81,15 @@ class Channel:
     def access(self, now: int, flat_bank: int, row: int,
                is_write: bool) -> AccessResult:
         """Service one column access, honouring refresh and bus occupancy."""
-        start = self._apply_refresh(now, flat_bank)
-        bank = self._banks[flat_bank]
-        result = bank.access(start, row, is_write, self._bus_free_at)
+        # Refresh is due a handful of times per million cycles; check the
+        # rank's deadline inline so the common case skips the refresh walk.
+        rank = self._rank_of[flat_bank]
+        if rank.refresh_enabled and now >= rank.next_refresh_due:
+            start = self._apply_refresh(now, flat_bank)
+        else:
+            start = now
+        result = self._banks[flat_bank].access(start, row, is_write,
+                                               self._bus_free_at)
         self._bus_free_at = result.completion_cycle
         return result
 

@@ -19,15 +19,18 @@ from repro.dram.timings import TimingSet
 class Rank:
     """Timing state shared by all banks of one rank."""
 
+    __slots__ = ('_timing', 'refresh_enabled', '_recent_activates', '_last_activate', 'next_refresh_due', 'refresh_count')
+
     def __init__(self, timing: TimingSet, refresh_enabled: bool = True):
         self._timing = timing
-        self._refresh_enabled = refresh_enabled
+        self.refresh_enabled = refresh_enabled
         #: Issue cycles of the most recent ACTIVATEs (for tFAW).
         self._recent_activates: deque[int] = deque(maxlen=4)
         #: Cycle of the most recent ACTIVATE (for tRRD).
         self._last_activate = -(10 ** 9)
-        #: Cycle at which the next refresh is due.
-        self._next_refresh_due = timing.trefi
+        #: Cycle at which the next refresh is due (read by the channel's
+        #: per-access fast path; treat as read-only outside this class).
+        self.next_refresh_due = timing.trefi
         #: Number of refreshes performed (for energy accounting).
         self.refresh_count = 0
 
@@ -57,13 +60,13 @@ class Rank:
     # ------------------------------------------------------------------
     def refresh_due(self, now: int) -> bool:
         """Return True when a refresh should be performed at or before ``now``."""
-        return self._refresh_enabled and now >= self._next_refresh_due
+        return self.refresh_enabled and now >= self.next_refresh_due
 
     def pending_refreshes(self, now: int) -> int:
         """Number of refresh intervals elapsed but not yet serviced."""
-        if not self._refresh_enabled or now < self._next_refresh_due:
+        if not self.refresh_enabled or now < self.next_refresh_due:
             return 0
-        elapsed = now - self._next_refresh_due
+        elapsed = now - self.next_refresh_due
         return 1 + elapsed // self._timing.trefi
 
     def perform_refresh(self, now: int) -> int:
@@ -73,9 +76,9 @@ class Rank:
         caller must also call :meth:`Bank.force_precharge_for_refresh` on
         every bank of the rank, because refresh closes all open rows.
         """
-        if not self._refresh_enabled:
+        if not self.refresh_enabled:
             return now
         completion = now + self._timing.trfc
-        self._next_refresh_due += self._timing.trefi
+        self.next_refresh_due += self._timing.trefi
         self.refresh_count += 1
         return completion

@@ -1,0 +1,283 @@
+"""Performance benchmark harness for the simulator itself.
+
+``python -m repro bench`` times the figure-7 workload set (every evaluated
+configuration on the single-core benchmark suite, plus one multiprogrammed
+mix) end to end through :class:`~repro.sim.system.System` and emits a
+``BENCH_<rev>.json`` under ``benchmarks/perf/``.  The JSON records, per job
+and in aggregate, simulation wall time, simulations per second, simulator
+events per second, and peak RSS — the quantities future PRs regress
+against.
+
+The harness deliberately bypasses the experiment engine's result cache:
+every job is simulated for real, so the numbers measure the event loop and
+not cache lookups.  Traces and configurations are built outside the timed
+region; only :meth:`System.run` is timed.
+
+When a baseline file (``--baseline``, default
+``benchmarks/perf/BENCH_baseline.json``) exists, the report includes the
+per-job and geometric-mean speedup against it, matching jobs by name.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.engine import ExperimentScale
+from repro.experiments.runner import (DEFAULT_CONFIGURATIONS, geometric_mean,
+                                      multicore_suite, single_core_benchmarks)
+from repro.sim.config import make_system_config
+from repro.sim.system import System
+from repro.workloads.catalog import get_benchmark
+
+#: Default location of the emitted BENCH_<rev>.json files.
+DEFAULT_OUTPUT_DIR = Path("benchmarks") / "perf"
+
+#: Baseline the report compares against when present.
+DEFAULT_BASELINE = DEFAULT_OUTPUT_DIR / "BENCH_baseline.json"
+
+#: Configurations timed by ``--quick`` (CI smoke) runs.
+QUICK_CONFIGURATIONS = ("Base", "FIGCache-Fast")
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """One timed simulation of the benchmark matrix."""
+
+    #: Stable name used to match jobs across benchmark runs.
+    name: str
+    #: Configuration name (Base, FIGCache-Fast, ...).
+    configuration: str
+    #: ``"single-core"`` or ``"multicore"``.
+    kind: str
+    #: Benchmark or mix name.
+    workload: str
+
+    def build(self, scale: ExperimentScale):
+        """Build the (config, traces, workload-name) inputs, untimed."""
+        if self.kind == "single-core":
+            config = make_system_config(self.configuration, channels=1)
+            traces = [get_benchmark(self.workload)
+                      .make_trace(scale.single_core_records)]
+        else:
+            config = make_system_config(self.configuration,
+                                        channels=scale.multicore_channels)
+            suite = {w.name: w for w in multicore_suite(scale)}
+            traces = suite[self.workload].make_traces(
+                scale.multicore_records)
+        return config, traces
+
+
+def figure7_jobs(scale: ExperimentScale, quick: bool = False) -> list[BenchJob]:
+    """The figure-7 workload set: every configuration on every benchmark.
+
+    Full runs add one multiprogrammed mix on Base and FIGCache-Fast so the
+    multicore event interleaving (4 channels, 8 cores) is represented.
+    """
+    configurations = QUICK_CONFIGURATIONS if quick else DEFAULT_CONFIGURATIONS
+    categories = single_core_benchmarks(scale)
+    benchmarks = [b for group in categories.values() for b in group]
+    jobs = [BenchJob(name=f"single:{configuration}:{benchmark}",
+                     configuration=configuration, kind="single-core",
+                     workload=benchmark)
+            for configuration in configurations for benchmark in benchmarks]
+    mixes = multicore_suite(scale)[:1]
+    for mix in mixes:
+        for configuration in QUICK_CONFIGURATIONS:
+            jobs.append(BenchJob(name=f"multi:{configuration}:{mix.name}",
+                                 configuration=configuration,
+                                 kind="multicore", workload=mix.name))
+    return jobs
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True,
+                             timeout=10)
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes."""
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return ru_maxrss * 1024 if sys.platform != "darwin" else ru_maxrss
+
+
+def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
+              repeats: int = 1) -> dict:
+    """Time the benchmark matrix; returns the report dictionary.
+
+    ``repeats`` re-runs every job and keeps the fastest wall time per job,
+    which damps scheduler/allocator noise on busy machines.
+    """
+    scale = scale or ExperimentScale.bench()
+    if quick:
+        scale = ExperimentScale.tiny()
+    jobs = figure7_jobs(scale, quick=quick)
+
+    # Build every job's inputs up front (untimed), then time ``repeats``
+    # full passes over the matrix and keep each job's fastest time.
+    # Interleaving the passes — rather than repeating one job back to back —
+    # means a transient machine-load spike lands on different jobs in each
+    # pass, so the per-job minimum filters it out.
+    inputs = [(job, *job.build(scale)) for job in jobs]
+    best_wall: dict[str, float] = {}
+    best_cpu: dict[str, float] = {}
+    events_by_job: dict[str, int] = {}
+    cycles_by_job: dict[str, int] = {}
+    for _ in range(max(repeats, 1)):
+        for job, config, traces in inputs:
+            system = System(config, traces)
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            result = system.run(job.workload)
+            cpu = time.process_time() - cpu_start
+            wall = time.perf_counter() - wall_start
+            name = job.name
+            if name not in best_wall or wall < best_wall[name]:
+                best_wall[name] = wall
+            if name not in best_cpu or cpu < best_cpu[name]:
+                best_cpu[name] = cpu
+            events_by_job[name] = system.processed_events
+            cycles_by_job[name] = result.total_cycles
+
+    job_reports = []
+    total_wall = 0.0
+    total_cpu = 0.0
+    total_events = 0
+    total_cycles = 0
+    for job in jobs:
+        name = job.name
+        wall = best_wall[name]
+        cpu = best_cpu[name]
+        events = events_by_job[name]
+        total_wall += wall
+        total_cpu += cpu
+        total_events += events
+        total_cycles += cycles_by_job[name]
+        job_reports.append({
+            "name": name,
+            "configuration": job.configuration,
+            "kind": job.kind,
+            "workload": job.workload,
+            "wall_s": wall,
+            # CPU seconds (time.process_time) — the headline metric: the
+            # simulator is single-threaded, and CPU time is far less
+            # sensitive to machine load than wall time.
+            "cpu_s": cpu,
+            "events": events,
+            "events_per_sec": events / cpu if cpu else 0.0,
+            "simulated_cycles": cycles_by_job[name],
+        })
+
+    return {
+        "schema": 1,
+        "rev": current_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "repeats": max(repeats, 1),
+        "scale": {
+            "single_core_records": scale.single_core_records,
+            "multicore_records": scale.multicore_records,
+            "num_cores": scale.num_cores,
+            "multicore_channels": scale.multicore_channels,
+        },
+        "jobs": job_reports,
+        "totals": {
+            "simulations": len(job_reports),
+            "wall_s": total_wall,
+            "cpu_s": total_cpu,
+            "sims_per_sec": len(job_reports) / total_cpu if total_cpu
+            else 0.0,
+            "events": total_events,
+            "events_per_sec": total_events / total_cpu if total_cpu
+            else 0.0,
+            "simulated_cycles": total_cycles,
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+    }
+
+
+def compare_to_baseline(report: dict, baseline: dict) -> dict | None:
+    """Per-job and aggregate speedup of ``report`` over ``baseline``.
+
+    Jobs are matched by name; unmatched jobs are ignored.  Returns None
+    when no jobs match (e.g. quick run against a full baseline).
+    """
+    if report.get("scale") != baseline.get("scale"):
+        # Different trace lengths / core counts: job names may match but
+        # the work does not, so a speedup would be meaningless.
+        return None
+    base_jobs = {job["name"]: job for job in baseline.get("jobs", [])}
+    speedups = []
+    per_job = {}
+    # Compare CPU seconds when both sides recorded them (the simulator is
+    # single-threaded, and CPU time is robust against machine load);
+    # otherwise fall back to wall time.
+    for job in report["jobs"]:
+        base = base_jobs.get(job["name"])
+        if base is None:
+            continue
+        metric = "cpu_s" if job.get("cpu_s") and base.get("cpu_s") \
+            else "wall_s"
+        if not job.get(metric) or not base.get(metric):
+            continue
+        speedup = base[metric] / job[metric]
+        per_job[job["name"]] = speedup
+        speedups.append(speedup)
+    if not speedups:
+        return None
+    return {
+        "baseline_rev": baseline.get("rev", "unknown"),
+        "jobs_compared": len(speedups),
+        "geomean_speedup": geometric_mean(speedups),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "per_job": per_job,
+    }
+
+
+def write_report(report: dict, output_dir: Path) -> Path:
+    """Write ``BENCH_<rev>.json``; returns the path."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"BENCH_{report['rev']}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: dict, comparison: dict | None) -> str:
+    """Human-readable summary printed by the CLI."""
+    totals = report["totals"]
+    lines = [f"perf bench @ {report['rev']} "
+             f"(python {report['python']}, quick={report['quick']})"]
+    for job in report["jobs"]:
+        lines.append(f"  {job['name']:<44s} {job['cpu_s']:8.3f}s cpu "
+                     f"{job['events_per_sec']:12,.0f} events/s")
+    lines.append(f"  {'TOTAL':<44s} {totals['cpu_s']:8.3f}s cpu "
+                 f"({totals['wall_s']:.3f}s wall) "
+                 f"{totals['events_per_sec']:12,.0f} events/s")
+    lines.append(f"  {totals['simulations']} simulations, "
+                 f"{totals['sims_per_sec']:.2f} sims/s, peak RSS "
+                 f"{totals['peak_rss_bytes'] / (1 << 20):.1f} MiB")
+    if comparison:
+        lines.append(f"  vs baseline {comparison['baseline_rev']}: "
+                     f"geomean speedup {comparison['geomean_speedup']:.2f}x "
+                     f"(min {comparison['min_speedup']:.2f}x, "
+                     f"max {comparison['max_speedup']:.2f}x over "
+                     f"{comparison['jobs_compared']} jobs)")
+    return "\n".join(lines)

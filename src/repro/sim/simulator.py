@@ -12,12 +12,22 @@ system.  Three event kinds drive it:
 
 Events are processed in global time order, so the memory controller always
 sees request arrivals from different cores correctly interleaved.
+
+The main loop is written for throughput: handler dispatch and the safety
+limits are hoisted out of the per-event path (bound methods and limit
+values live in locals), events are only pushed when they can do work
+(superseded ``CONTROLLER_WAKE`` events left in the heap are dropped with an
+O(1) peek at the controller's wake-up heap instead of a full wake pass),
+and the current cycle is assigned directly — the event heap pops in
+non-decreasing cycle order because no handler ever schedules into the past.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
+import sys
 from dataclasses import dataclass
 
 from repro.controller.controller import MemoryController
@@ -27,6 +37,15 @@ from repro.cpu.core import TraceCore
 _CORE_RUN = 0
 _REQUEST_ARRIVAL = 1
 _CONTROLLER_WAKE = 2
+
+#: Nesting depth of active :meth:`Simulator.run` calls in this process,
+#: with the interpreter state saved when the first run entered.  The
+#: guard keeps overlapping runs (nested or on other threads) from
+#: restoring the cyclic-GC / switch-interval state mid-way through an
+#: outer run.
+_active_runs = 0
+_saved_gc_enabled = False
+_saved_switch_interval = 0.0
 
 
 @dataclass
@@ -41,6 +60,9 @@ class SimulatorLimits:
 
 class Simulator:
     """Event-driven co-simulation of cores and the memory system."""
+
+    __slots__ = ('_cores', '_controller', '_limits', '_events', '_sequence',
+                 '_now', '_scheduled_wake', 'processed_events')
 
     def __init__(self, cores: list[TraceCore], controller: MemoryController,
                  limits: SimulatorLimits | None = None):
@@ -73,33 +95,176 @@ class Simulator:
         wake = self._controller.next_wakeup()
         if wake is None:
             return
-        wake = max(wake, self._now)
+        if wake < self._now:
+            wake = self._now
         if self._scheduled_wake is not None and self._scheduled_wake <= wake:
             return
         self._scheduled_wake = wake
-        self._push(wake, _CONTROLLER_WAKE, None)
+        heapq.heappush(self._events,
+                       (wake, next(self._sequence), _CONTROLLER_WAKE, None))
 
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
     def run(self) -> int:
         """Run until every core finishes its trace; returns the final cycle."""
+        # The event loop allocates heavily (requests, events, results) but
+        # creates no reference cycles — plain reference counting reclaims
+        # everything.  Cyclic-GC passes triggered by the allocation rate
+        # would only scan the heap for nothing, so they are suspended for
+        # the duration of the run.  The GIL switch interval is raised for
+        # the same reason: the loop is single-threaded and pure Python, so
+        # frequent bytecode-level preemption checks buy nothing (1 s keeps
+        # any co-resident threads schedulable, unlike a multi-second
+        # value, while capturing essentially all of the benefit).
+        global _active_runs, _saved_gc_enabled, _saved_switch_interval
+        if _active_runs == 0:
+            _saved_gc_enabled = gc.isenabled()
+            _saved_switch_interval = sys.getswitchinterval()
+            gc.disable()
+            sys.setswitchinterval(1.0)
+        _active_runs += 1
+        try:
+            return self._run()
+        finally:
+            _active_runs -= 1
+            if _active_runs == 0:
+                sys.setswitchinterval(_saved_switch_interval)
+                if _saved_gc_enabled:
+                    gc.enable()
+
+    def _run(self) -> int:
         for core in self._cores:
             self._push(0, _CORE_RUN, core)
 
-        finish_cycle = 0
-        while self._events:
-            cycle, _, kind, payload = heapq.heappop(self._events)
-            self._now = max(self._now, cycle)
-            self.processed_events += 1
-            self._check_limits()
+        events = self._events
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        sequence = self._sequence
+        controller = self._controller
+        cores = self._cores
+        max_cycles = self._limits.max_cycles
+        max_events = self._limits.max_events
+        #: The per-channel (wake-up heap, live wake cycle) pairs, hoisted so
+        #: the loop peeks the lazily-invalidated heaps directly instead of
+        #: calling MemoryController.next_wakeup after every event (the
+        #: invalidation rule matches ChannelController.next_wakeup: a head
+        #: whose cycle disagrees with the live dict is stale).
+        wakeup_views = [(cc._wakeup_heap, cc._wakeup_cycle)
+                        for cc in controller.channel_controllers]
+        #: With one channel (every single-core job) wake delivery can skip
+        #: the MemoryController fan-out entirely.
+        single_controller = controller.channel_controllers[0] \
+            if len(controller.channel_controllers) == 1 else None
+        route_cache = controller._route_cache
+        controller_route = controller.route
+        processed = self.processed_events
+        cycle = 0
+        while events:
+            cycle, _, kind, payload = heappop(events)
+            # Events pop in non-decreasing cycle order (nothing schedules
+            # into the past), so the clock advances monotonically; _now is
+            # written back after the loop (nothing reads it mid-loop).
+            # Limits are checked against the state *before* this event is
+            # counted, so the error reports the true processed-event count.
+            if cycle > max_cycles or processed >= max_events:
+                self._now = cycle
+                self.processed_events = processed
+                self._raise_limit(cycle)
+            processed += 1
 
-            if kind == _CORE_RUN:
-                self._handle_core_run(payload, cycle)
-            elif kind == _REQUEST_ARRIVAL:
-                self._handle_arrival(payload, cycle)
+            if kind == _REQUEST_ARRIVAL:
+                # Inline MemoryController.enqueue (route probe + delegate).
+                entry = route_cache.get(payload.address)
+                if entry is None:
+                    channel_controller = controller_route(payload)
+                else:
+                    payload.decoded, payload.flat_bank, channel_controller \
+                        = entry
+                completed = channel_controller.enqueue(payload, cycle)
+                # Inline completion delivery (see _deliver_completions).
+                for request in completed:
+                    if request.is_write:
+                        continue
+                    core = cores[request.core_id]
+                    completion_cycle = request.completion_cycle
+                    if core.notify_completion(request.address,
+                                              completion_cycle):
+                        heappush(events, (completion_cycle, next(sequence),
+                                          _CORE_RUN, core))
+            elif kind == _CORE_RUN:
+                # Inline _handle_core_run: turn the core's issued requests
+                # into REQUEST_ARRIVAL events.
+                issued_requests = payload.run_requests(cycle)
+                if issued_requests:
+                    core_id = payload.core_id
+                    for issue_cycle, address, is_write in issued_requests:
+                        heappush(events,
+                                 (issue_cycle, next(sequence),
+                                  _REQUEST_ARRIVAL,
+                                  MemoryRequest(core_id, address, is_write,
+                                                issue_cycle)))
+                continue
             else:
-                self._handle_controller_wake(cycle)
+                # CONTROLLER_WAKE, inlined because wake events dominate
+                # some workloads.
+                if self._scheduled_wake is not None \
+                        and self._scheduled_wake <= cycle:
+                    self._scheduled_wake = None
+                # A wake event is stale when an earlier wake already
+                # serviced the banks it was scheduled for (pushing an
+                # earlier CONTROLLER_WAKE cannot remove the superseded one
+                # from the heap).  Peeking at the wake-up heaps is O(1); a
+                # full wake pass would walk every channel's pending banks
+                # just to find nothing due.
+                next_due = None
+                for heap, live in wakeup_views:
+                    while heap:
+                        head = heap[0]
+                        if live.get(head[1]) == head[0]:
+                            if next_due is None or head[0] < next_due:
+                                next_due = head[0]
+                            break
+                        heappop(heap)
+                if next_due is None:
+                    continue
+                if next_due <= cycle:
+                    if single_controller is not None:
+                        woken = single_controller.wake(cycle)
+                    else:
+                        woken = controller.wake(cycle)
+                    for request in woken:
+                        if request.is_write:
+                            continue
+                        core = cores[request.core_id]
+                        completion_cycle = request.completion_cycle
+                        if core.notify_completion(request.address,
+                                                  completion_cycle):
+                            heappush(events,
+                                     (completion_cycle, next(sequence),
+                                      _CORE_RUN, core))
+            # Inline _schedule_controller_wake: push a CONTROLLER_WAKE for
+            # the earliest pending bank unless one is already queued at or
+            # before that cycle.
+            wake = None
+            for heap, live in wakeup_views:
+                while heap:
+                    head = heap[0]
+                    if live.get(head[1]) == head[0]:
+                        if wake is None or head[0] < wake:
+                            wake = head[0]
+                        break
+                    heappop(heap)
+            if wake is not None:
+                if wake < cycle:
+                    wake = cycle
+                scheduled = self._scheduled_wake
+                if scheduled is None or scheduled > wake:
+                    self._scheduled_wake = wake
+                    heappush(events,
+                             (wake, next(sequence), _CONTROLLER_WAKE, None))
+        self._now = max(self._now, cycle)
+        self.processed_events = processed
 
         # Flush any writes still sitting in the controller queues so that
         # command counts and energy reflect the whole workload.
@@ -112,41 +277,24 @@ class Simulator:
     # ------------------------------------------------------------------
     # Event handlers.
     # ------------------------------------------------------------------
-    def _handle_core_run(self, core: TraceCore, cycle: int) -> None:
-        result = core.run(cycle)
-        for issued in result.requests:
-            request = MemoryRequest(core_id=core.core_id,
-                                    address=issued.address,
-                                    is_write=issued.is_write,
-                                    arrival_cycle=issued.issue_cycle)
-            self._push(issued.issue_cycle, _REQUEST_ARRIVAL, request)
-
-    def _handle_arrival(self, request: MemoryRequest, cycle: int) -> None:
-        completed = self._controller.enqueue(request, cycle)
-        self._deliver_completions(completed)
-        self._schedule_controller_wake()
-
-    def _handle_controller_wake(self, cycle: int) -> None:
-        if self._scheduled_wake is not None and self._scheduled_wake <= cycle:
-            self._scheduled_wake = None
-        completed = self._controller.wake(cycle)
-        self._deliver_completions(completed)
-        self._schedule_controller_wake()
-
     def _deliver_completions(self, completed: list[MemoryRequest]) -> None:
+        cores = self._cores
+        events = self._events
+        sequence = self._sequence
         for request in completed:
             if request.is_write:
                 continue
-            core = self._cores[request.core_id]
-            can_progress = core.notify_completion(request.address,
-                                                  request.completion_cycle)
-            if can_progress:
-                self._push(request.completion_cycle, _CORE_RUN, core)
+            core = cores[request.core_id]
+            completion_cycle = request.completion_cycle
+            if core.notify_completion(request.address, completion_cycle):
+                heapq.heappush(events, (completion_cycle, next(sequence),
+                                        _CORE_RUN, core))
 
-    def _check_limits(self) -> None:
-        if self._now > self._limits.max_cycles:
+    def _raise_limit(self, cycle: int) -> None:
+        """Report which safety limit the next event would exceed."""
+        if cycle > self._limits.max_cycles:
             raise RuntimeError(
                 f"simulation exceeded {self._limits.max_cycles} cycles")
-        if self.processed_events > self._limits.max_events:
-            raise RuntimeError(
-                f"simulation exceeded {self._limits.max_events} events")
+        raise RuntimeError(
+            f"simulation exceeded {self._limits.max_events} events "
+            f"({self.processed_events} processed)")

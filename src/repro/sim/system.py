@@ -39,11 +39,15 @@ class System:
                       for core_id, trace in enumerate(traces)]
         self.energy_model = SystemEnergyModel(energy_params)
         self._limits = limits
+        #: Simulator events processed by the most recent :meth:`run` call
+        #: (used by the perf benchmark harness to report events/sec).
+        self.processed_events = 0
 
     def run(self, workload_name: str = "workload") -> SimulationResult:
         """Simulate the workload to completion and gather all metrics."""
         simulator = Simulator(self.cores, self.controller, self._limits)
         simulator.run()
+        self.processed_events = simulator.processed_events
 
         core_results = [
             CoreResult(core_id=core.core_id,

@@ -64,14 +64,14 @@ class TestFRFCFS:
         # Open row A in bank 0.
         open_req = make_request(device, 0x0)
         cc.enqueue(open_req, 0)
-        row_a_block1 = make_request(device, 0x0 + 64)
+        # ``other_row`` is older (created first), FCFS order in the queue.
         other_row = make_request(device, 0x0 + 8192 * 16 * 4)
+        row_a_block1 = make_request(device, 0x0 + 64)
         assert other_row.flat_bank == row_a_block1.flat_bank
         scheduler = FRFCFSScheduler()
-        # ``other_row`` is older (created first in this list order matters):
-        queue = [other_row, row_a_block1]
-        picked = scheduler.pick(channel, row_a_block1.flat_bank, queue, [],
-                                drain_mode=False)
+        bank = channel.bank(row_a_block1.flat_bank)
+        picked = scheduler.pick(bank, [other_row, row_a_block1], (),
+                                write_backlog=0, drain_mode=False)
         assert picked is row_a_block1
 
     def test_falls_back_to_oldest_without_hits(self):
@@ -80,8 +80,9 @@ class TestFRFCFS:
         scheduler = FRFCFSScheduler()
         first = make_request(device, 0x100000)
         second = make_request(device, 0x200000)
-        picked = scheduler.pick(channel, first.flat_bank, [first, second], [],
-                                drain_mode=False)
+        bank = channel.bank(first.flat_bank)
+        picked = scheduler.pick(bank, [first, second], (),
+                                write_backlog=0, drain_mode=False)
         assert picked is first
 
     def test_writes_only_issued_with_enough_backlog(self):
@@ -89,11 +90,17 @@ class TestFRFCFS:
         channel = device.channel(0)
         scheduler = FRFCFSScheduler()
         write = make_request(device, 0x3000, is_write=True)
-        picked = scheduler.pick(channel, write.flat_bank, [], [write],
-                                drain_mode=False)
+        bank = channel.bank(write.flat_bank)
+        picked = scheduler.pick(bank, (), [write],
+                                write_backlog=1, drain_mode=False)
         assert picked is None
-        picked_drain = scheduler.pick(channel, write.flat_bank, [], [write],
-                                      drain_mode=True)
+        backlog = scheduler.config.write_drain_low_watermark
+        picked_backlog = scheduler.pick(bank, (), [write],
+                                        write_backlog=backlog,
+                                        drain_mode=False)
+        assert picked_backlog is write
+        picked_drain = scheduler.pick(bank, (), [write],
+                                      write_backlog=1, drain_mode=True)
         assert picked_drain is write
 
 
