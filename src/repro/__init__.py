@@ -2,8 +2,10 @@
 
 The package is organised as:
 
-* :mod:`repro.dram` -- DDR4 device/timing substrate, including the FIGARO
-  ``RELOC`` command.
+* :mod:`repro.dram` -- DRAM device/timing substrate, including the FIGARO
+  ``RELOC`` command, and the multi-standard device catalog
+  (:mod:`repro.dram.standards`: DDR4 speed grades, LPDDR4, HBM2, DDR5 —
+  see ``docs/standards.md``).
 * :mod:`repro.controller` -- memory controller substrate (queues, FR-FCFS).
 * :mod:`repro.core` -- the paper's primary contribution: the FIGARO
   relocation engine and the FIGCache fine-grained in-DRAM cache.
@@ -23,6 +25,6 @@ The package is organised as:
   them from the command line (see ``docs/experiments.md``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

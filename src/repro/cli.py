@@ -2,16 +2,19 @@
 
 ``python -m repro`` exposes the experiment engine directly:
 
-* ``run-figure N``  — regenerate one of Figures 7–15.
+* ``run-figure N``  — regenerate one of Figures 7–15, or a named study
+  such as ``dram-types`` (the cross-standard sensitivity sweep).
 * ``run-static NAME`` — regenerate a table/section study (table1, table2,
   reloc-timing, overhead, rowhammer).
 * ``sweep``         — a design-space sweep over FIGCache knobs (cross
   product of segment sizes and cache capacities).
+* ``standards list`` / ``standards smoke`` — show the DRAM device
+  catalog, or run one tiny validation simulation per profile.
 * ``cache stats`` / ``cache clear`` — inspect or wipe the persistent
   result cache.
 * ``bench``         — time the simulator itself on the figure-7 workload
   set and emit ``benchmarks/perf/BENCH_<rev>.json``.
-* ``list``          — show every runnable experiment.
+* ``list``          — show every runnable experiment and device profile.
 
 ``--jobs N`` fans independent simulations across N worker processes;
 ``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
@@ -26,12 +29,17 @@ import json
 import sys
 import time
 
+from repro.dram.standards import list_profiles
 from repro.experiments import engine
 from repro.experiments.engine import default_cache_dir
-from repro.experiments.figures import FIGURES
+from repro.experiments.figures import FIGURES, NAMED_FIGURES
 from repro.experiments.runner import (ExperimentScale, format_table,
                                       geometric_mean, multicore_suite)
 from repro.experiments.static import STATIC_EXPERIMENTS
+
+#: Every ``run-figure`` choice: numbered figures plus named studies.
+FIGURE_CHOICES = tuple([str(number) for number in sorted(FIGURES)]
+                       + sorted(NAMED_FIGURES))
 
 #: Named experiment scales selectable with ``--scale``.
 SCALES = {
@@ -74,7 +82,10 @@ def _report(data: dict, executor, elapsed_s: float) -> None:
 
 def _cmd_run_figure(args) -> int:
     executor = _configure_engine(args)
-    runner = FIGURES[args.figure]
+    if args.figure in NAMED_FIGURES:
+        runner = NAMED_FIGURES[args.figure]
+    else:
+        runner = FIGURES[int(args.figure)]
     start = time.perf_counter()
     data = runner(SCALES[args.scale]())
     _report(data, executor, time.perf_counter() - start)
@@ -172,14 +183,62 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_standards(args) -> int:
+    if args.standards_command == "list":
+        print(_profile_table())
+        return 0
+    # ``smoke``: one tiny simulation per profile — a fast cross-standard
+    # validation that every catalog entry builds and simulates.
+    from repro.sim.config import make_system_config
+    from repro.sim.system import run_workload
+    from repro.workloads.catalog import get_benchmark
+
+    scale = SCALES[args.scale]()
+    trace = [get_benchmark("lbm").make_trace(scale.single_core_records)]
+    rows = []
+    for profile in list_profiles():
+        start = time.perf_counter()
+        result = run_workload(make_system_config("Base",
+                                                 standard=profile.name),
+                              trace, "lbm")
+        rows.append([profile.name, profile.refresh_mode,
+                     result.total_cycles, result.cores[0].ipc,
+                     result.dram_counters.refreshes,
+                     time.perf_counter() - start])
+    print(format_table(
+        "standards smoke: Base on one tiny lbm trace per profile",
+        ["standard", "refresh", "cycles", "ipc", "refreshes", "wall_s"],
+        rows))
+    return 0
+
+
+def _profile_table() -> str:
+    rows = [profile.summary_row() for profile in list_profiles()]
+    return format_table(
+        "DRAM device catalog (make_system_config(standard=...))",
+        ["standard", "family", "MT/s", "banks (groups x banks)",
+         "row bytes", "refresh", "description"], rows)
+
+
 def _cmd_list(args) -> int:
     del args
     print("figures (run-figure N):")
     for number, runner in sorted(FIGURES.items()):
         print(f"  {number:>2d}  {runner.__doc__.splitlines()[0]}")
+    print("named studies (run-figure NAME):")
+    for name, runner in NAMED_FIGURES.items():
+        print(f"  {name:<12s}  {runner.__doc__.splitlines()[0]}")
     print("static experiments (run-static NAME):")
     for name, runner in STATIC_EXPERIMENTS.items():
         print(f"  {name:<12s}  {runner.__doc__.splitlines()[0]}")
+    print("device profiles (standard=... / standards list):")
+    for profile in list_profiles():
+        print(f"  {profile.name:<12s}  {profile.family}, "
+              f"{profile.data_rate_mts} MT/s, "
+              f"{profile.bankgroups_per_rank}x"
+              f"{profile.banks_per_bankgroup} banks, "
+              f"{profile.row_size_bytes} B rows, "
+              f"{profile.refresh_mode} refresh — {profile.description}")
     return 0
 
 
@@ -196,8 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     figure = sub.add_parser("run-figure",
-                            help="regenerate one of the paper's figures")
-    figure.add_argument("figure", type=int, choices=sorted(FIGURES))
+                            help="regenerate one of the paper's figures "
+                                 "or a named study (e.g. dram-types)")
+    figure.add_argument("figure", choices=FIGURE_CHOICES)
     _add_engine_arguments(figure)
     figure.set_defaults(func=_cmd_run_figure)
 
@@ -237,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline report to compute speedups against "
                             "(default benchmarks/perf/BENCH_baseline.json)")
     bench.set_defaults(func=_cmd_bench)
+
+    standards = sub.add_parser("standards",
+                               help="DRAM device catalog tools")
+    standards.add_argument("standards_command", choices=("list", "smoke"))
+    standards.add_argument("--scale", choices=sorted(SCALES),
+                           default="tiny",
+                           help="trace length for the smoke run "
+                                "(default: tiny)")
+    standards.set_defaults(func=_cmd_standards)
 
     cache = sub.add_parser("cache", help="persistent result cache tools")
     cache.add_argument("cache_command", choices=("stats", "clear"))

@@ -128,9 +128,10 @@ class FigaroEngine:
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         timings = self._config.timings
-        from repro.dram.timings import derive_fast_timings
-
-        destination = derive_fast_timings(timings) if destination_fast \
+        # Use the configuration's own fast-timing derivation so the
+        # analytical figure matches what the bank model simulates on
+        # standards with non-default reduction factors.
+        destination = self._config.fast_timings() if destination_fast \
             else timings
         latency = 0.0
         if not source_already_open:

@@ -2,9 +2,11 @@
 
 This package models the DRAM organization and timing behaviour that the
 FIGARO/FIGCache mechanisms are built on: channels, ranks, bank groups, banks,
-subarrays, rows, and columns, together with the DDR4 timing parameters that
+subarrays, rows, and columns, together with the timing parameters that
 govern ACTIVATE / READ / WRITE / PRECHARGE / REFRESH and the new RELOC
-command introduced by FIGARO.
+command introduced by FIGARO.  The defaults model the paper's DDR4-1600
+Table 1 device; other standards (DDR4 speed grades, LPDDR4, HBM2, DDR5)
+are built from the device catalog in :mod:`repro.dram.standards`.
 
 The model is event-driven rather than cycle-stepped: each bank tracks the
 earliest cycle at which the next command of each kind may be issued, and the

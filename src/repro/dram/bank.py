@@ -68,6 +68,8 @@ class Bank:
 
     __slots__ = ('_config', '_rank', '_key', '_counters', '_slow', '_fast',
                  '_all_fast', '_regular_rows', '_trrd', '_tfaw',
+                 '_bg_index', '_col_pacing', '_tccd_s_rank', '_tccd_l_rank',
+                 '_act_bg_pacing', '_trrd_l',
                  '_read_hot', '_write_hot', 'open_row',
                  '_last_act', '_next_act_allowed', '_next_col_allowed',
                  '_next_pre_allowed', '_busy_until')
@@ -90,6 +92,20 @@ class Bank:
         #: tFAW check in :meth:`_activate` (rank timings are the slow set).
         self._trrd = rank.timing.trrd
         self._tfaw = rank.timing.tfaw
+        #: Bank-group pacing (bank-grouped standards only).  Column
+        #: commands across the rank must be tCCD_L apart within a bank
+        #: group and tCCD_S apart across groups; same-group ACTIVATEs are
+        #: paced at tRRD_L.  Both checks are gated on flags computed once
+        #: here, so standards without the splits (the DDR4-1600 Table 1
+        #: device, LPDDR4's flat 8-bank rank) skip them entirely and keep
+        #: the historical hot path — bus occupancy alone paces their
+        #: bursts, which preserves the pinned golden results.
+        self._bg_index = bank_key[2]
+        self._tccd_l_rank = rank.timing.tccd
+        self._tccd_s_rank = rank.timing.tccd_s
+        self._col_pacing = rank.timing.tccd_s < rank.timing.tccd
+        self._trrd_l = rank.timing.trrd_l
+        self._act_bg_pacing = rank.timing.trrd_l > rank.timing.trrd
         #: Column-access timing constants per (timing set, direction), as
         #: tuples so :meth:`access` does one load plus an unpack instead of
         #: five attribute loads through the TimingSet.
@@ -197,6 +213,21 @@ class Bank:
             col_cycle = self._activate(act_cycle, row, timing,
                                        already_constrained=True)
 
+        if self._col_pacing:
+            # Rank-wide column pacing for bank-grouped standards: tCCD_L
+            # after the most recent column command to the *same* bank
+            # group (tracked per group — an intervening other-group
+            # command must not reset the window), tCCD_S after any column
+            # command rank-wide (subsumed by tCCD_L within the group).
+            rank = self._rank
+            earliest_col = rank._bg_last_col[self._bg_index] \
+                + self._tccd_l_rank
+            cross = rank._last_col_cycle + self._tccd_s_rank
+            if cross > earliest_col:
+                earliest_col = cross
+            if earliest_col > col_cycle:
+                col_cycle = earliest_col
+
         # Inline the burst timing, _update_after_column, and the command
         # counters, reading the timing constants from the precomputed
         # per-direction tuples.
@@ -236,6 +267,12 @@ class Bank:
             self._next_pre_allowed = next_pre
         if col_cycle > self._busy_until:
             self._busy_until = col_cycle
+        if self._col_pacing:
+            # Record the final column-command slot (after any bus wait
+            # shifted it) for the next bank's pacing check.
+            rank = self._rank
+            rank._last_col_cycle = col_cycle
+            rank._bg_last_col[self._bg_index] = col_cycle
 
         return AccessResult(start, completion, self._next_col_allowed,
                             outcome, served_fast)
@@ -451,6 +488,14 @@ class Bank:
             faw_earliest = recent[0] + self._tfaw
             if faw_earliest > act_cycle:
                 act_cycle = faw_earliest
+        if self._act_bg_pacing:
+            # Same-bank-group ACTIVATE pacing (tRRD_L) for bank-grouped
+            # standards; the rank-wide check above already applied tRRD_S.
+            bg_last = rank._bg_last_act
+            bg_earliest = bg_last[self._bg_index] + self._trrd_l
+            if bg_earliest > act_cycle:
+                act_cycle = bg_earliest
+            bg_last[self._bg_index] = act_cycle
         rank._last_activate = act_cycle
         recent.append(act_cycle)
         counters = self._counters

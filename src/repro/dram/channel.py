@@ -26,7 +26,10 @@ class Channel:
         self.counters = CommandCounters(
             track_row_activations=track_row_activations)
         slow = config.slow_timing_set()
-        self._ranks = [Rank(slow, refresh_enabled=refresh_enabled)
+        self._ranks = [Rank(slow, refresh_enabled=refresh_enabled,
+                            refresh_mode=config.refresh_mode,
+                            num_banks=config.banks_per_rank,
+                            num_bankgroups=config.bankgroups_per_rank)
                        for _ in range(config.ranks_per_channel)]
         self._banks: list[Bank] = []
         #: Owning rank per flat bank index (avoids a division per access).
@@ -121,16 +124,51 @@ class Channel:
     # ------------------------------------------------------------------
     def _apply_refresh(self, now: int, flat_bank: int) -> int:
         """Perform any due refreshes for the bank's rank; return the adjusted
-        earliest start cycle for a new operation."""
+        earliest start cycle for a new operation.
+
+        All-bank mode (DDR4/DDR5 REFab): each pending refresh blocks every
+        bank of the rank for tRFC, so the access always waits out the
+        chain.  Per-bank mode (LPDDR4 REFpb, HBM2 REFSB): refresh commands
+        to *different* banks overlap in time, so each pending refresh is
+        stamped at its own due slot (it ran on schedule in the background)
+        and blocks only its round-robin target bank for tRFCpb from that
+        slot.  The access waits only when its own bank's refresh window
+        extends past ``now``.  Serialising the catch-up from ``now``
+        instead (tRFCpb back to back, the obvious port of the all-bank
+        chain) is wrong and unstable: with per-bank cadences of
+        tREFI/banks, a traffic burst's worth of pending refreshes would
+        block every bank of the rank far into the future, stalling the
+        traffic that drains the backlog and growing the next backlog —
+        a runaway that sent HBM2 simulations past the cycle limit.
+        """
         rank = self.rank_of_bank(flat_bank)
         start = now
         pending = rank.pending_refreshes(now)
         if pending == 0:
             return start
-        rank_id = flat_bank // self._config.banks_per_rank
-        first_bank = rank_id * self._config.banks_per_rank
-        rank_banks = self._banks[first_bank:first_bank
-                                 + self._config.banks_per_rank]
+        banks_per_rank = self._config.banks_per_rank
+        first_bank = (flat_bank // banks_per_rank) * banks_per_rank
+        if rank.refresh_mode == "per-bank":
+            # Runs ~banks-per-rank times more often than the all-bank
+            # path but touches one bank per refresh, so index the bank
+            # list directly instead of slicing out the whole rank.
+            banks = self._banks
+            local_bank = flat_bank - first_bank
+            for _ in range(pending):
+                due = rank.next_refresh_due
+                completion = rank.perform_refresh(due)
+                self.counters.refreshes += 1
+                target = rank.last_refreshed_bank
+                # Close the target's row unconditionally (the refresh
+                # happened, even if its window already passed); the
+                # force only costs time when ``completion`` is still in
+                # the future.
+                banks[first_bank + target] \
+                    .force_precharge_for_refresh(completion)
+                if target == local_bank and completion > start:
+                    start = completion
+            return start
+        rank_banks = self._banks[first_bank:first_bank + banks_per_rank]
         for _ in range(pending):
             completion = rank.perform_refresh(start)
             self.counters.refreshes += 1

@@ -1,0 +1,34 @@
+"""Multi-standard DRAM device catalog.
+
+The paper argues FIGCache is DRAM-type-agnostic (its Section 3 claim);
+this package makes that testable by describing each commodity standard as
+a named, frozen, validated :class:`DeviceProfile` — organization + full
+timing table + refresh mode + energy parameters — and threading the
+profiles through :class:`~repro.dram.config.DRAMConfig`,
+:func:`~repro.sim.config.make_system_config` (``standard=...``), and the
+``dram-types`` experiment.
+
+Built-in profiles: DDR4-1600 (the Table 1 baseline, bit-identical to the
+historical defaults), DDR4-2400, DDR4-3200, LPDDR4-3200, HBM2, and
+DDR5-4800.  ``register_profile`` adds project-specific standards at
+runtime; ``docs/standards.md`` documents the numbers and how to extend the
+catalog.
+"""
+
+from repro.dram.standards.catalog import (PROFILES, get_profile,
+                                          list_profiles, register_profile)
+from repro.dram.standards.profile import DeviceProfile
+
+#: The built-in standard names, in presentation order (a snapshot taken
+#: at import; consumers that must see runtime-registered standards too
+#: should iterate the live ``PROFILES`` registry instead).
+STANDARD_NAMES = tuple(PROFILES)
+
+__all__ = [
+    "DeviceProfile",
+    "PROFILES",
+    "STANDARD_NAMES",
+    "get_profile",
+    "list_profiles",
+    "register_profile",
+]

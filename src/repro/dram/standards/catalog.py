@@ -1,0 +1,140 @@
+"""The built-in device catalog: named profiles for each supported standard.
+
+Timing values are representative JEDEC-grade numbers (a common speed bin
+per standard), not any single vendor's datasheet; see ``docs/standards.md``
+for the derivation and the caveats.  The DDR4-1600 entry reproduces the
+paper's Table 1 device exactly — it is the catalog's reference point, and
+building a system from it is bit-identical to the historical defaults.
+
+All profiles share the paper's FIGARO assumptions: 1 ns RELOC latency and
+the Table 1 fast-subarray reductions (tRCD -45.5 %, tRP -38.2 %,
+tRAS -62.9 %), since the underlying short-bitline circuit technique is
+DRAM-type-agnostic (the paper's Section 3 argument this catalog exists to
+test).
+"""
+
+from __future__ import annotations
+
+from repro.dram.standards.profile import DeviceProfile
+from repro.dram.timings import DRAMTimings
+from repro.energy.standard_power import energy_params_for
+
+#: The built-in registry, keyed by profile name, in presentation order.
+PROFILES: dict[str, DeviceProfile] = {}
+
+
+def register_profile(profile: DeviceProfile,
+                     replace: bool = False) -> DeviceProfile:
+    """Add a profile to the registry (validated on construction)."""
+    if profile.name in PROFILES and not replace:
+        raise ValueError(f"profile {profile.name!r} is already registered; "
+                         f"pass replace=True to override it")
+    PROFILES[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a registered profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown DRAM standard {name!r}; available: "
+                         f"{', '.join(PROFILES)}") from None
+
+
+def list_profiles() -> list[DeviceProfile]:
+    """All registered profiles, in registration (presentation) order."""
+    return list(PROFILES.values())
+
+
+# ----------------------------------------------------------------------
+# DDR4 speed grades: same 1.2 V array, faster bus; the analog row timings
+# stay nearly constant in nanoseconds while burst/column spacing shrinks
+# and the tCCD_S/tCCD_L + tRRD_S/tRRD_L bank-group splits appear.
+# ----------------------------------------------------------------------
+DDR4_1600 = register_profile(DeviceProfile(
+    name="DDR4-1600", family="DDR4", data_rate_mts=1600,
+    bankgroups_per_rank=4, banks_per_bankgroup=4,
+    subarrays_per_bank=64, rows_per_subarray=512, row_size_bytes=8192,
+    timings=DRAMTimings(),
+    energy=energy_params_for("DDR4-1600"),
+    description="paper Table 1 baseline (11-11-11, 8 kB rows)"))
+
+DDR4_2400 = register_profile(DeviceProfile(
+    name="DDR4-2400", family="DDR4", data_rate_mts=2400,
+    bankgroups_per_rank=4, banks_per_bankgroup=4,
+    subarrays_per_bank=64, rows_per_subarray=512, row_size_bytes=8192,
+    timings=DRAMTimings(
+        trcd_ns=14.16, trp_ns=14.16, tras_ns=32.0, tcl_ns=14.16,
+        tcwl_ns=12.5, tbl_ns=3.33, tccd_ns=5.0, tccd_s_ns=3.33,
+        twr_ns=15.0, twtr_ns=7.5, trtp_ns=7.5,
+        trrd_ns=3.33, trrd_l_ns=4.9, tfaw_ns=21.0,
+        trfc_ns=350.0, trefi_ns=7800.0),
+    energy=energy_params_for("DDR4-2400"),
+    description="mid DDR4 bin (17-17-17, 1200 MHz bus)"))
+
+DDR4_3200 = register_profile(DeviceProfile(
+    name="DDR4-3200", family="DDR4", data_rate_mts=3200,
+    bankgroups_per_rank=4, banks_per_bankgroup=4,
+    subarrays_per_bank=64, rows_per_subarray=512, row_size_bytes=8192,
+    timings=DRAMTimings(
+        trcd_ns=13.75, trp_ns=13.75, tras_ns=32.0, tcl_ns=13.75,
+        tcwl_ns=10.0, tbl_ns=2.5, tccd_ns=5.0, tccd_s_ns=2.5,
+        twr_ns=15.0, twtr_ns=7.5, trtp_ns=7.5,
+        trrd_ns=2.5, trrd_l_ns=4.9, tfaw_ns=21.0,
+        trfc_ns=350.0, trefi_ns=7800.0),
+    energy=energy_params_for("DDR4-3200"),
+    description="top DDR4 bin (22-22-22, 1600 MHz bus)"))
+
+# ----------------------------------------------------------------------
+# LPDDR4: 8 flat banks (no bank groups), 2 kB rows, slower analog core,
+# BL16 bursts, and per-bank refresh (REFpb).
+# ----------------------------------------------------------------------
+LPDDR4_3200 = register_profile(DeviceProfile(
+    name="LPDDR4-3200", family="LPDDR4", data_rate_mts=3200,
+    bankgroups_per_rank=1, banks_per_bankgroup=8,
+    subarrays_per_bank=32, rows_per_subarray=512, row_size_bytes=2048,
+    timings=DRAMTimings(
+        trcd_ns=18.0, trp_ns=18.0, tras_ns=42.0, tcl_ns=17.5,
+        tcwl_ns=8.75, tbl_ns=5.0, tccd_ns=5.0,
+        twr_ns=18.0, twtr_ns=10.0, trtp_ns=7.5,
+        trrd_ns=10.0, tfaw_ns=40.0,
+        trfc_ns=280.0, trfc_pb_ns=140.0, trefi_ns=3904.0),
+    energy=energy_params_for("LPDDR4-3200"),
+    refresh_mode="per-bank",
+    description="mobile part, 2 kB rows, BL16, per-bank refresh"))
+
+# ----------------------------------------------------------------------
+# HBM2: in-package stacked DRAM — short 2 kB rows, small bank groups,
+# narrow tCCD_S, aggressive tFAW, and single-bank refresh (REFSB).
+# ----------------------------------------------------------------------
+HBM2 = register_profile(DeviceProfile(
+    name="HBM2", family="HBM2", data_rate_mts=2000,
+    bankgroups_per_rank=4, banks_per_bankgroup=4,
+    subarrays_per_bank=32, rows_per_subarray=512, row_size_bytes=2048,
+    timings=DRAMTimings(
+        trcd_ns=14.0, trp_ns=14.0, tras_ns=33.0, tcl_ns=14.0,
+        tcwl_ns=7.0, tbl_ns=2.0, tccd_ns=4.0, tccd_s_ns=2.0,
+        twr_ns=16.0, twtr_ns=7.5, trtp_ns=7.5,
+        trrd_ns=4.0, trrd_l_ns=6.0, tfaw_ns=16.0,
+        trfc_ns=260.0, trfc_pb_ns=160.0, trefi_ns=3900.0),
+    energy=energy_params_for("HBM2"),
+    refresh_mode="per-bank",
+    description="stacked in-package channel, 2 kB rows, REFSB refresh"))
+
+# ----------------------------------------------------------------------
+# DDR5: twice the bank groups, shorter per-chip pages, BL16, and much
+# tighter activate pacing; all-bank refresh at a halved tREFI.
+# ----------------------------------------------------------------------
+DDR5_4800 = register_profile(DeviceProfile(
+    name="DDR5-4800", family="DDR5", data_rate_mts=4800,
+    bankgroups_per_rank=8, banks_per_bankgroup=4,
+    subarrays_per_bank=64, rows_per_subarray=512, row_size_bytes=8192,
+    timings=DRAMTimings(
+        trcd_ns=16.0, trp_ns=16.0, tras_ns=32.0, tcl_ns=16.67,
+        tcwl_ns=15.0, tbl_ns=3.33, tccd_ns=5.0, tccd_s_ns=3.33,
+        twr_ns=30.0, twtr_ns=10.0, trtp_ns=7.5,
+        trrd_ns=3.33, trrd_l_ns=5.0, tfaw_ns=13.33,
+        trfc_ns=295.0, trefi_ns=3900.0),
+    energy=energy_params_for("DDR5-4800"),
+    description="entry DDR5 bin (40-39-39, 32 banks in 8 groups)"))

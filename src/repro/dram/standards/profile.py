@@ -1,0 +1,176 @@
+"""Device profiles: one frozen description per DRAM standard.
+
+A :class:`DeviceProfile` bundles everything that distinguishes one
+commodity DRAM standard from another in this model: the per-rank
+organization (bank groups, banks, subarrays, rows, row size), the full
+nanosecond timing table, the refresh mode (all-bank vs. per-bank), the
+per-standard energy parameters, and the fast-subarray timing derivation
+factors.  Profiles are registered by name in
+:mod:`repro.dram.standards.catalog` and turned into simulation-ready
+:class:`~repro.dram.config.DRAMConfig` objects with
+:meth:`DeviceProfile.dram_config` /
+:meth:`~repro.dram.config.DRAMConfig.from_profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import DRAMConfig, REFRESH_MODES
+from repro.dram.timings import (FAST_TRAS_REDUCTION, FAST_TRCD_REDUCTION,
+                                FAST_TRP_REDUCTION, DRAMTimings)
+from repro.energy.dram_power import DRAMEnergyParams
+
+
+def _require_power_of_two(value: int, name: str, profile: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"profile {profile!r}: {name} must be a positive "
+                         f"power of two (the address mapper interleaves by "
+                         f"bit slicing), got {value}")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One named, frozen DRAM device description."""
+
+    #: Registry name, e.g. ``"DDR4-3200"``.
+    name: str
+    #: Standard family: ``DDR4``, ``LPDDR4``, ``HBM2``, or ``DDR5``.
+    family: str
+    #: Data rate in mega-transfers per second (documentation/reporting).
+    data_rate_mts: int
+    #: Bank groups per rank (1 for standards without bank groups).
+    bankgroups_per_rank: int
+    #: Banks per bank group.
+    banks_per_bankgroup: int
+    #: Regular (slow) subarrays per bank.
+    subarrays_per_bank: int
+    #: Rows per regular subarray.
+    rows_per_subarray: int
+    #: Row (page) size in bytes across the rank.
+    row_size_bytes: int
+    #: Full nanosecond timing table.
+    timings: DRAMTimings
+    #: Per-standard DRAM energy parameters.
+    energy: DRAMEnergyParams = field(default_factory=DRAMEnergyParams)
+    #: Ranks per channel.
+    ranks_per_channel: int = 1
+    #: ``"all-bank"`` or ``"per-bank"``.
+    refresh_mode: str = "all-bank"
+    #: Fast-subarray timing reductions (fraction removed from tRCD/tRP/tRAS).
+    fast_trcd_reduction: float = FAST_TRCD_REDUCTION
+    fast_trp_reduction: float = FAST_TRP_REDUCTION
+    fast_tras_reduction: float = FAST_TRAS_REDUCTION
+    #: One-line human description shown by ``python -m repro list``.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def banks_per_rank(self) -> int:
+        """Total banks per rank."""
+        return self.bankgroups_per_rank * self.banks_per_bankgroup
+
+    # ------------------------------------------------------------------
+    # Validation.
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` for internally inconsistent profiles.
+
+        Profile-level rules (power-of-two organization, bank-group
+        legality, tFAW/tRAS/tREFI consistency) are checked here; the
+        config-level rules (divisibility, refresh-mode/tRFCpb pairing,
+        non-negative timings, reduction-factor ranges) are delegated to
+        the :class:`~repro.dram.config.DRAMConfig` built at the end, so
+        there is exactly one implementation of each check.
+        """
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        name = self.name
+        _require_power_of_two(self.bankgroups_per_rank,
+                              "bankgroups_per_rank", name)
+        _require_power_of_two(self.banks_per_bankgroup,
+                              "banks_per_bankgroup", name)
+        _require_power_of_two(self.ranks_per_channel,
+                              "ranks_per_channel", name)
+        if self.data_rate_mts <= 0:
+            raise ValueError(f"profile {name!r}: data_rate_mts must be "
+                             f"positive, got {self.data_rate_mts}")
+        blocks_per_row = self.row_size_bytes // 64 if self.row_size_bytes > 0 \
+            else 0
+        if self.row_size_bytes % 64 or blocks_per_row <= 0 \
+                or blocks_per_row & (blocks_per_row - 1):
+            raise ValueError(f"profile {name!r}: row size must be a "
+                             f"power-of-two multiple of the 64 B cache "
+                             f"block, got {self.row_size_bytes}")
+        if self.refresh_mode not in REFRESH_MODES:
+            raise ValueError(f"profile {name!r}: unknown refresh mode "
+                             f"{self.refresh_mode!r}; choose one of "
+                             f"{REFRESH_MODES}")
+        self._validate_timings()
+        self.energy.validate()
+        # Delegate the remaining organization/timing checks to the config
+        # this profile builds (DRAMConfig.__post_init__ validates).
+        self.dram_config()
+
+    def _validate_timings(self) -> None:
+        name = self.name
+        t = self.timings
+        # Bank-group legality: the short/long splits only make sense when
+        # the standard actually has more than one bank group, and the
+        # "short" variant must not exceed the "long" one.
+        if t.tccd_s_ns is not None:
+            if self.bankgroups_per_rank == 1:
+                raise ValueError(
+                    f"profile {name!r}: tCCD_S is set but the organization "
+                    f"has a single bank group; drop tccd_s_ns or add bank "
+                    f"groups")
+            if t.tccd_s_ns > t.tccd_ns:
+                raise ValueError(
+                    f"profile {name!r}: tCCD_S ({t.tccd_s_ns} ns) must not "
+                    f"exceed tCCD_L ({t.tccd_ns} ns)")
+        if t.trrd_l_ns is not None:
+            if self.bankgroups_per_rank == 1:
+                raise ValueError(
+                    f"profile {name!r}: tRRD_L is set but the organization "
+                    f"has a single bank group; drop trrd_l_ns or add bank "
+                    f"groups")
+            if t.trrd_l_ns < t.trrd_ns:
+                raise ValueError(
+                    f"profile {name!r}: tRRD_L ({t.trrd_l_ns} ns) must not "
+                    f"be below tRRD_S ({t.trrd_ns} ns)")
+        # tFAW/tRRD consistency: four ACTIVATEs spaced tRRD apart must be
+        # able to satisfy the four-activate window, i.e. tFAW must not be
+        # trivially below the pacing tRRD already enforces.
+        if t.tfaw_ns < t.trrd_ns:
+            raise ValueError(
+                f"profile {name!r}: tFAW ({t.tfaw_ns} ns) below tRRD "
+                f"({t.trrd_ns} ns) is inconsistent: the four-activate "
+                f"window would never bind")
+        if t.tras_ns < t.trcd_ns:
+            raise ValueError(
+                f"profile {name!r}: tRAS ({t.tras_ns} ns) below tRCD "
+                f"({t.trcd_ns} ns) would close rows before the first "
+                f"column command")
+        if t.trefi_ns <= t.trfc_ns:
+            raise ValueError(
+                f"profile {name!r}: tREFI ({t.trefi_ns} ns) must exceed "
+                f"tRFC ({t.trfc_ns} ns) or the device only refreshes")
+        if t.trfc_pb_ns is not None and t.trfc_pb_ns > t.trfc_ns:
+            raise ValueError(
+                f"profile {name!r}: tRFCpb ({t.trfc_pb_ns} ns) must "
+                f"not exceed the all-bank tRFC ({t.trfc_ns} ns)")
+
+    # ------------------------------------------------------------------
+    # Conversion.
+    # ------------------------------------------------------------------
+    def dram_config(self, channels: int = 1, **overrides) -> DRAMConfig:
+        """Build a :class:`~repro.dram.config.DRAMConfig` for this profile."""
+        return DRAMConfig.from_profile(self, channels=channels, **overrides)
+
+    def summary_row(self) -> list:
+        """Row for the CLI profile listing."""
+        return [self.name, self.family, self.data_rate_mts,
+                f"{self.bankgroups_per_rank}x{self.banks_per_bankgroup}",
+                self.row_size_bytes, self.refresh_mode, self.description]

@@ -1,9 +1,18 @@
-"""DDR4 timing parameters and conversion to simulator clock cycles.
+"""DRAM timing parameters and conversion to simulator clock cycles.
 
 All architectural timing parameters are expressed in nanoseconds (the way
 DRAM datasheets and the paper express them) in :class:`DRAMTimings`, and are
 converted once into integer CPU-clock cycles in :class:`TimingSet`, which is
 what the bank and controller models consume.
+
+The same parameter set describes every supported standard (DDR4 speed
+grades, LPDDR4, HBM2, DDR5 — see :mod:`repro.dram.standards`): standards
+that distinguish same- vs. cross-bank-group column timing set
+``tccd_s_ns`` below ``tccd_ns`` (which then acts as tCCD_L), standards with
+same-bank-group ACTIVATE pacing set ``trrd_l_ns`` above ``trrd_ns``, and
+standards with per-bank refresh supply ``trfc_pb_ns``.  All three are
+optional; when unset they collapse onto the flat DDR4-1600 behaviour the
+paper's Table 1 models.
 
 The fast-subarray timings used by FIGCache-Fast, LISA-VILLA, and LL-DRAM are
 derived by :func:`derive_fast_timings` using the reductions reported by the
@@ -60,6 +69,18 @@ class DRAMTimings:
     #: Latency of one FIGARO RELOC command (paper Section 4.2: 0.57 ns from
     #: SPICE plus a 43 % guardband, rounded up to 1 ns).
     treloc_ns: float = 1.0
+    #: Cross-bank-group column-to-column delay (tCCD_S).  ``None`` means the
+    #: standard does not distinguish bank groups for column timing and
+    #: ``tccd_ns`` applies uniformly (the DDR4-1600 Table 1 behaviour); when
+    #: set, ``tccd_ns`` is interpreted as tCCD_L (same bank group).
+    tccd_s_ns: float | None = None
+    #: Same-bank-group ACTIVATE-to-ACTIVATE delay (tRRD_L).  ``None`` means
+    #: ``trrd_ns`` applies to every bank pair of the rank.
+    trrd_l_ns: float | None = None
+    #: Per-bank refresh cycle time (tRFCpb), for standards whose refresh
+    #: mode is ``"per-bank"`` (LPDDR4, HBM2).  ``None`` for all-bank-only
+    #: standards.
+    trfc_pb_ns: float | None = None
 
     def scaled(self, trcd_factor: float, trp_factor: float,
                tras_factor: float) -> "DRAMTimings":
@@ -118,11 +139,28 @@ class TimingSet:
     trfc: int
     trefi: int
     treloc: int
+    #: Cross-bank-group column spacing; equals ``tccd`` for standards
+    #: without a tCCD_S/tCCD_L split (the ``from_timings`` fallback).
+    tccd_s: int
+    #: Same-bank-group ACTIVATE spacing; equals ``trrd`` for standards
+    #: without a tRRD_S/tRRD_L split.
+    trrd_l: int
+    #: Per-bank refresh cycle time; equals ``trfc`` when the standard only
+    #: supports all-bank refresh.
+    trfc_pb: int
 
     @classmethod
     def from_timings(cls, timings: DRAMTimings,
                      clock_ghz: float = 3.2) -> "TimingSet":
-        """Build a cycle-domain timing set from nanosecond parameters."""
+        """Build a cycle-domain timing set from nanosecond parameters.
+
+        The optional multi-standard parameters fall back onto their flat
+        counterparts: ``tccd_s`` to ``tccd``, ``trrd_l`` to ``trrd``, and
+        ``trfc_pb`` to ``trfc``.
+        """
+        tccd = _to_cycles(timings.tccd_ns, clock_ghz)
+        trrd = _to_cycles(timings.trrd_ns, clock_ghz)
+        trfc = _to_cycles(timings.trfc_ns, clock_ghz)
         return cls(
             clock_ghz=clock_ghz,
             trcd=_to_cycles(timings.trcd_ns, clock_ghz),
@@ -131,15 +169,21 @@ class TimingSet:
             tcl=_to_cycles(timings.tcl_ns, clock_ghz),
             tcwl=_to_cycles(timings.tcwl_ns, clock_ghz),
             tbl=_to_cycles(timings.tbl_ns, clock_ghz),
-            tccd=_to_cycles(timings.tccd_ns, clock_ghz),
+            tccd=tccd,
             twr=_to_cycles(timings.twr_ns, clock_ghz),
             twtr=_to_cycles(timings.twtr_ns, clock_ghz),
             trtp=_to_cycles(timings.trtp_ns, clock_ghz),
-            trrd=_to_cycles(timings.trrd_ns, clock_ghz),
+            trrd=trrd,
             tfaw=_to_cycles(timings.tfaw_ns, clock_ghz),
-            trfc=_to_cycles(timings.trfc_ns, clock_ghz),
+            trfc=trfc,
             trefi=_to_cycles(timings.trefi_ns, clock_ghz),
             treloc=_to_cycles(timings.treloc_ns, clock_ghz),
+            tccd_s=tccd if timings.tccd_s_ns is None
+            else _to_cycles(timings.tccd_s_ns, clock_ghz),
+            trrd_l=trrd if timings.trrd_l_ns is None
+            else _to_cycles(timings.trrd_l_ns, clock_ghz),
+            trfc_pb=trfc if timings.trfc_pb_ns is None
+            else _to_cycles(timings.trfc_pb_ns, clock_ghz),
         )
 
     def cycles(self, ns: float) -> int:

@@ -9,9 +9,12 @@ command-counting and activity-based models:
   (short-bitline) regions.
 * :mod:`repro.energy.system_energy` — CPU core, cache, and off-chip
   interconnect energy, and the system-level breakdown used by Figure 11.
+* :mod:`repro.energy.standard_power` — per-standard DRAM power tables for
+  the device catalog (:mod:`repro.dram.standards`).
 """
 
 from repro.energy.dram_power import DRAMEnergyModel, DRAMEnergyParams
+from repro.energy.standard_power import STANDARD_ENERGY, energy_params_for
 from repro.energy.system_energy import (SystemEnergyBreakdown,
                                          SystemEnergyModel,
                                          SystemEnergyParams)
@@ -19,7 +22,9 @@ from repro.energy.system_energy import (SystemEnergyBreakdown,
 __all__ = [
     "DRAMEnergyModel",
     "DRAMEnergyParams",
+    "STANDARD_ENERGY",
     "SystemEnergyBreakdown",
     "SystemEnergyModel",
     "SystemEnergyParams",
+    "energy_params_for",
 ]

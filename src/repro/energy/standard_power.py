@@ -1,0 +1,53 @@
+"""Per-standard DRAM power tables.
+
+One :class:`~repro.energy.dram_power.DRAMEnergyParams` instance per
+supported device standard, consumed by the device catalog
+(:mod:`repro.dram.standards`).  As with the base DDR4 numbers, these are
+representative figures in the spirit of DRAMPower / vendor power
+calculators rather than calibrated datasheet values: the experiments only
+use relative energies, and the cross-standard study compares each
+mechanism against Base *on the same standard*, so only the intra-standard
+ratios matter.
+
+Rough rationale per family:
+
+* **DDR4 speed grades** share the 1.2 V core array; faster I/O raises the
+  per-access termination energy slightly and the background power a bit.
+* **LPDDR4** runs a 1.1 V core with much weaker I/O drivers (unterminated,
+  point-to-point), so column access and background energy drop sharply;
+  per-bank refresh moves far less charge per event than an all-bank REF.
+* **HBM2** moves data over very short in-package interconnect (lowest
+  energy per bit) but keeps DDR4-like array energy; its 2 kB rows cost
+  less per ACTIVATE than 8 kB DDR4 rows.
+* **DDR5** halves the bank charge per ACTIVATE versus DDR4 (smaller rows,
+  more banks) but pays more background power for the on-DIMM management
+  and higher-speed I/O.
+"""
+
+from __future__ import annotations
+
+from repro.energy.dram_power import DRAMEnergyParams
+
+#: Energy parameters per standard family and speed grade, keyed by the
+#: profile names of :data:`repro.dram.standards.PROFILES`.
+STANDARD_ENERGY: dict[str, DRAMEnergyParams] = {
+    "DDR4-1600": DRAMEnergyParams(),
+    "DDR4-2400": DRAMEnergyParams(read_nj=10.8, write_nj=11.8,
+                                  background_mw=190.0),
+    "DDR4-3200": DRAMEnergyParams(read_nj=11.0, write_nj=12.0,
+                                  background_mw=200.0),
+    "LPDDR4-3200": DRAMEnergyParams(act_pre_nj=8.0, read_nj=4.0,
+                                    write_nj=4.5, reloc_nj=0.6,
+                                    refresh_nj=20.0, background_mw=60.0),
+    "HBM2": DRAMEnergyParams(act_pre_nj=9.0, read_nj=3.0, write_nj=3.3,
+                             reloc_nj=0.5, refresh_nj=18.0,
+                             background_mw=120.0),
+    "DDR5-4800": DRAMEnergyParams(act_pre_nj=11.0, read_nj=9.0,
+                                  write_nj=10.0, reloc_nj=0.9,
+                                  refresh_nj=110.0, background_mw=220.0),
+}
+
+
+def energy_params_for(standard: str) -> DRAMEnergyParams:
+    """Power table for ``standard``; defaults to the DDR4 base numbers."""
+    return STANDARD_ENERGY.get(standard, DRAMEnergyParams())

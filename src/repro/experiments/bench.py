@@ -58,16 +58,20 @@ class BenchJob:
     kind: str
     #: Benchmark or mix name.
     workload: str
+    #: Device-catalog standard the simulated system uses.
+    standard: str = "DDR4-1600"
 
     def build(self, scale: ExperimentScale):
         """Build the (config, traces, workload-name) inputs, untimed."""
         if self.kind == "single-core":
-            config = make_system_config(self.configuration, channels=1)
+            config = make_system_config(self.configuration, channels=1,
+                                        standard=self.standard)
             traces = [get_benchmark(self.workload)
                       .make_trace(scale.single_core_records)]
         else:
             config = make_system_config(self.configuration,
-                                        channels=scale.multicore_channels)
+                                        channels=scale.multicore_channels,
+                                        standard=self.standard)
             suite = {w.name: w for w in multicore_suite(scale)}
             traces = suite[self.workload].make_traces(
                 scale.multicore_records)
@@ -79,6 +83,8 @@ def figure7_jobs(scale: ExperimentScale, quick: bool = False) -> list[BenchJob]:
 
     Full runs add one multiprogrammed mix on Base and FIGCache-Fast so the
     multicore event interleaving (4 channels, 8 cores) is represented.
+    Quick (CI) runs add one non-DDR4 job so the per-bank-refresh and
+    bank-group-pacing code paths are part of the perf smoke signal.
     """
     configurations = QUICK_CONFIGURATIONS if quick else DEFAULT_CONFIGURATIONS
     categories = single_core_benchmarks(scale)
@@ -87,6 +93,11 @@ def figure7_jobs(scale: ExperimentScale, quick: bool = False) -> list[BenchJob]:
                      configuration=configuration, kind="single-core",
                      workload=benchmark)
             for configuration in configurations for benchmark in benchmarks]
+    if quick:
+        jobs.append(BenchJob(name="single:FIGCache-Fast:lbm@HBM2",
+                             configuration="FIGCache-Fast",
+                             kind="single-core", workload="lbm",
+                             standard="HBM2"))
     mixes = multicore_suite(scale)[:1]
     for mix in mixes:
         for configuration in QUICK_CONFIGURATIONS:

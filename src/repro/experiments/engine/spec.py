@@ -28,8 +28,10 @@ from repro.workloads.multiprogram import MultiprogrammedWorkload
 from repro.workloads.trace import TraceRecord
 
 #: Bump when the on-disk result format or the job-key recipe changes; old
-#: cache entries are then ignored instead of being misread.
-CACHE_SCHEMA_VERSION = 2
+#: cache entries are then ignored instead of being misread.  Version 3:
+#: the device catalog added ``standard`` / per-standard fields to the
+#: system and DRAM configs, changing every config digest.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,8 @@ from repro.core.figcache import FIGCache, FIGCacheConfig
 from repro.core.mechanism import CachingMechanism
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
+from repro.dram.standards import get_profile
+from repro.energy.dram_power import DRAMEnergyParams
 
 #: Names of the configurations evaluated in the paper, in presentation order.
 CONFIGURATION_NAMES = (
@@ -53,6 +55,13 @@ class SystemConfig:
     refresh_enabled: bool = True
     #: Track per-row activation counts (RowHammer-style analysis only).
     track_row_activations: bool = False
+    #: Device-catalog standard the DRAM organization was built from (see
+    #: :mod:`repro.dram.standards`).  Redundant with ``dram.standard`` but
+    #: kept at the top level so sweeps and cache keys read naturally.
+    standard: str = "DDR4-1600"
+    #: Per-standard DRAM energy parameters from the device profile; None
+    #: falls back to the base DDR4 table.
+    dram_energy: DRAMEnergyParams | None = None
 
 
 def config_digest(config: SystemConfig) -> str:
@@ -93,18 +102,23 @@ def make_system_config(name: str, channels: int = 1,
                        insertion_threshold: int = 1,
                        refresh_enabled: bool = True,
                        track_row_activations: bool = False,
+                       standard: str = "DDR4-1600",
                        dram_overrides: dict | None = None) -> SystemConfig:
     """Build the named configuration (paper Section 8).
 
     Parameters other than ``name`` and ``channels`` are the sensitivity
     knobs used by the Figure 12–15 studies; the defaults reproduce the
-    paper's Table 1 configuration.
+    paper's Table 1 configuration.  ``standard`` selects a device-catalog
+    profile (:mod:`repro.dram.standards`) — organization, timing table,
+    refresh mode, and energy parameters — with ``"DDR4-1600"`` being
+    bit-identical to the historical defaults.
     """
     if name not in CONFIGURATION_NAMES:
         raise ValueError(f"unknown configuration {name!r}; choose one of "
                          f"{CONFIGURATION_NAMES}")
     core = core or CoreConfig()
-    dram = DRAMConfig(channels=channels)
+    profile = get_profile(standard)
+    dram = DRAMConfig.from_profile(profile, channels=channels)
     if dram_overrides:
         dram = replace(dram, **dram_overrides)
 
@@ -144,4 +158,5 @@ def make_system_config(name: str, channels: int = 1,
     return SystemConfig(name=name, dram=dram, core=core,
                         figcache=figcache_config, lisa_villa=lisa_config,
                         refresh_enabled=refresh_enabled,
-                        track_row_activations=track_row_activations)
+                        track_row_activations=track_row_activations,
+                        standard=standard, dram_energy=profile.energy)

@@ -37,6 +37,10 @@ class System:
                                            config.scheduler)
         self.cores = [TraceCore(core_id, trace, config.core)
                       for core_id, trace in enumerate(traces)]
+        if energy_params is None and config.dram_energy is not None:
+            # Per-standard DRAM power table from the device catalog; the
+            # non-DRAM component parameters stay at their defaults.
+            energy_params = SystemEnergyParams(dram=config.dram_energy)
         self.energy_model = SystemEnergyModel(energy_params)
         self._limits = limits
         #: Simulator events processed by the most recent :meth:`run` call

@@ -89,10 +89,27 @@ class TestDRAMConfig:
         with pytest.raises(ValueError):
             config.fast_region_row(config.fast_rows_per_bank)
 
-    def test_validate_rejects_bad_block_size(self):
-        config = DRAMConfig(row_size_bytes=8192, block_size_bytes=96)
-        with pytest.raises(ValueError):
-            config.validate()
+    def test_construction_rejects_bad_block_size(self):
+        # Validation now runs in __post_init__, so the inconsistent
+        # organization never comes into existence.
+        with pytest.raises(ValueError, match="multiple of the cache block"):
+            DRAMConfig(row_size_bytes=8192, block_size_bytes=96)
+
+    def test_construction_rejects_zero_fast_rows(self):
+        with pytest.raises(ValueError, match="rows_per_fast_subarray"):
+            DRAMConfig(fast_subarrays_per_bank=2, rows_per_fast_subarray=0)
+
+    def test_construction_rejects_negative_timing(self):
+        with pytest.raises(ValueError, match="trcd_ns"):
+            DRAMConfig(timings=DRAMTimings(trcd_ns=-1.0))
+
+    def test_construction_rejects_unknown_refresh_mode(self):
+        with pytest.raises(ValueError, match="refresh mode"):
+            DRAMConfig(refresh_mode="sometimes")
+
+    def test_construction_rejects_per_bank_refresh_without_trfc_pb(self):
+        with pytest.raises(ValueError, match="trfc_pb_ns"):
+            DRAMConfig(refresh_mode="per-bank")
 
 
 # ----------------------------------------------------------------------
