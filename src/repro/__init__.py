@@ -16,8 +16,10 @@ The package is organised as:
 * :mod:`repro.energy` -- DRAM and system energy models.
 * :mod:`repro.circuit` -- lumped-RC analysis of the RELOC operation.
 * :mod:`repro.analysis` -- hardware (area/power/storage) overhead models.
-* :mod:`repro.sim` -- system assembly, the event-driven simulation loop, and
-  result metrics.
+* :mod:`repro.sim` -- system assembly, the event-driven simulation loop,
+  result metrics, and the unified telemetry pipeline
+  (:mod:`repro.sim.telemetry`: per-request latency distributions and
+  epoch-sampled time series — see ``docs/telemetry.md``).
 * :mod:`repro.experiments` -- declarative runners, one per paper
   table/figure, on top of the experiment engine
   (:mod:`repro.experiments.engine`): parallel job execution plus a
@@ -25,6 +27,6 @@ The package is organised as:
   them from the command line (see ``docs/experiments.md``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -3,9 +3,13 @@
 ``python -m repro`` exposes the experiment engine directly:
 
 * ``run-figure N``  — regenerate one of Figures 7–15, or a named study
-  such as ``dram-types`` (the cross-standard sensitivity sweep).
+  such as ``dram-types`` (the cross-standard sensitivity sweep) or
+  ``latency`` (read-latency percentiles per configuration).
 * ``run-static NAME`` — regenerate a table/section study (table1, table2,
   reloc-timing, overhead, rowhammer).
+* ``timeline WORKLOAD`` — per-epoch time series (IPC, row-buffer and
+  in-DRAM cache hit rates, queue depth, bandwidth) for one single-core
+  workload, plus the read-latency percentile summary.
 * ``sweep``         — a design-space sweep over FIGCache knobs (cross
   product of segment sizes and cache capacities).
 * ``standards list`` / ``standards smoke`` — show the DRAM device
@@ -36,6 +40,8 @@ from repro.experiments.figures import FIGURES, NAMED_FIGURES
 from repro.experiments.runner import (ExperimentScale, format_table,
                                       geometric_mean, multicore_suite)
 from repro.experiments.static import STATIC_EXPERIMENTS
+from repro.sim.config import configuration_names
+from repro.sim.telemetry import DEFAULT_EPOCH_CYCLES
 
 #: Every ``run-figure`` choice: numbered figures plus named studies.
 FIGURE_CHOICES = tuple([str(number) for number in sorted(FIGURES)]
@@ -163,6 +169,44 @@ def _cmd_bench(args) -> int:
             comparison = bench.compare_to_baseline(report, json.load(handle))
     print(bench.format_report(report, comparison))
     print(f"report written to {path}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.experiments.engine import SimJob
+    from repro.workloads.catalog import get_benchmark
+
+    try:
+        get_benchmark(args.workload)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    executor = _configure_engine(args)
+    scale = SCALES[args.scale]()
+    job = SimJob.single_core(args.configuration, args.workload, scale,
+                             telemetry=True,
+                             telemetry_epoch_cycles=args.epoch)
+    start = time.perf_counter()
+    result = executor.run_one(job)
+    elapsed_s = time.perf_counter() - start
+    telemetry = result.telemetry
+    rows = [[row["end_cycle"], row["ipc"], row["row_buffer_hit_rate"],
+             row["cache_hit_rate"], row["reads"], row["writes"],
+             row.get("read_gbps", 0.0), row["queue_depth_max"]]
+            for row in telemetry.epochs.rows(telemetry.cpu_clock_ghz)]
+    print(format_table(
+        f"timeline: {args.workload} on {args.configuration} "
+        f"(epoch = {telemetry.epoch_cycles} cycles)",
+        ["end_cycle", "ipc", "rb_hit", "cache_hit", "reads", "writes",
+         "read_GB/s", "queue_max"], rows))
+    summary = telemetry.read_percentiles()
+    print(f"\nread latency (cycles): p50 {summary['p50']}  "
+          f"p95 {summary['p95']}  p99 {summary['p99']}  "
+          f"max {summary['max']}  mean {summary['mean']:.1f}  "
+          f"({summary['count']} reads, "
+          f"{telemetry.write_latency.count} writes)")
+    print(f"{executor.simulations_executed} simulations executed, "
+          f"{executor.cache_hits} cache hits, {elapsed_s:.1f}s")
     return 0
 
 
@@ -297,6 +341,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline report to compute speedups against "
                             "(default benchmarks/perf/BENCH_baseline.json)")
     bench.set_defaults(func=_cmd_bench)
+
+    timeline = sub.add_parser("timeline",
+                              help="per-epoch telemetry time series for "
+                                   "one single-core workload")
+    timeline.add_argument("workload",
+                          help="benchmark name (see 'list')")
+    timeline.add_argument("--configuration", default="FIGCache-Fast",
+                          metavar="NAME",
+                          help="configuration to simulate "
+                               "(default: FIGCache-Fast; any registered "
+                               f"name: {', '.join(configuration_names())})")
+    timeline.add_argument("--epoch", type=int,
+                          default=DEFAULT_EPOCH_CYCLES, metavar="CYCLES",
+                          help="epoch length in CPU cycles "
+                               f"(default {DEFAULT_EPOCH_CYCLES})")
+    _add_engine_arguments(timeline)
+    timeline.set_defaults(func=_cmd_timeline)
 
     standards = sub.add_parser("standards",
                                help="DRAM device catalog tools")

@@ -57,7 +57,8 @@ class ChannelController:
                  '_drain_mode', '_wakeup_cycle', '_wakeup_heap',
                  '_read_queue_depth', '_write_queue_depth', '_drain_high',
                  '_drain_low', '_row_of', '_direct_access',
-                 'completed_reads', 'completed_writes', 'total_read_latency')
+                 'completed_reads', 'completed_writes',
+                 'read_latencies', 'write_latencies')
 
     def __init__(self, channel: Channel, mechanism: CachingMechanism,
                  scheduler_config: SchedulerConfig | None = None):
@@ -92,10 +93,14 @@ class ChannelController:
         #: Direct-access mechanisms (no in-DRAM cache) are served straight
         #: through Channel.access (see CachingMechanism.direct_access).
         self._direct_access = mechanism.direct_access
-        #: Completed request statistics.
+        #: Completed request statistics.  Latencies (completion minus
+        #: arrival) are counted exactly per distinct value — the storage
+        #: behind both the mean-latency metric and the telemetry layer's
+        #: percentile queries (see :mod:`repro.sim.telemetry`).
         self.completed_reads = 0
         self.completed_writes = 0
-        self.total_read_latency = 0
+        self.read_latencies: dict[int, int] = {}
+        self.write_latencies: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -165,11 +170,45 @@ class ChannelController:
             heappop(heap)
         return None
 
+    @property
+    def total_read_latency(self) -> int:
+        """Sum of completed read latencies in cycles (exact integer)."""
+        return sum(latency * count
+                   for latency, count in self.read_latencies.items())
+
     def average_read_latency(self) -> float:
         """Mean read latency (cycles) over completed reads."""
         if self.completed_reads == 0:
             return 0.0
         return self.total_read_latency / self.completed_reads
+
+    def read_latency_histogram(self):
+        """Read-latency distribution as a telemetry histogram view.
+
+        The returned :class:`~repro.sim.telemetry.LatencyHistogram` wraps
+        the live counts (no copy); callers that mutate it should merge
+        into a fresh histogram instead.
+        """
+        from repro.sim.telemetry import LatencyHistogram
+        return LatencyHistogram(self.read_latencies)
+
+    def write_latency_histogram(self):
+        """Write-latency distribution as a telemetry histogram view."""
+        from repro.sim.telemetry import LatencyHistogram
+        return LatencyHistogram(self.write_latencies)
+
+    def telemetry_counters(self) -> dict[str, int]:
+        """Cumulative counters for the telemetry epoch sampler.
+
+        Uniform stats-producer protocol (see :mod:`repro.sim.telemetry`).
+        Queue occupancies are instantaneous values, not cumulative counts,
+        and are therefore exposed separately (``read_queue_occupancy``).
+        """
+        return {
+            "completed_reads": self.completed_reads,
+            "completed_writes": self.completed_writes,
+            "total_read_latency": self.total_read_latency,
+        }
 
     # ------------------------------------------------------------------
     # Event entry points.
@@ -283,6 +322,8 @@ class ChannelController:
         pick = self._scheduler.pick
         row_of = self._row_of
         direct_access = self._direct_access
+        read_latencies = self.read_latencies
+        write_latencies = self.write_latencies
         # Every mechanism reports the bank's post-service readiness in
         # ``ServiceResult.bank_busy_until``, so only the first iteration
         # reads the bank's ``ready_for_next``.
@@ -347,12 +388,14 @@ class ChannelController:
                 request.row_buffer_outcome = result.row_buffer_outcome
                 request.served_fast = result.served_fast
                 ready_at = result.bank_busy_until
+            latency = completion_cycle - request.arrival_cycle
             if is_write:
                 self.completed_writes += 1
+                write_latencies[latency] = \
+                    write_latencies.get(latency, 0) + 1
             else:
                 self.completed_reads += 1
-                self.total_read_latency += (completion_cycle
-                                            - request.arrival_cycle)
+                read_latencies[latency] = read_latencies.get(latency, 0) + 1
             completed.append(request)
         return completed
 
@@ -389,12 +432,15 @@ class ChannelController:
             request.row_buffer_outcome = result.row_buffer_outcome
             request.served_fast = result.served_fast
             ready_at = result.bank_busy_until
+        latency = completion_cycle - request.arrival_cycle
         if request.is_write:
             self.completed_writes += 1
+            self.write_latencies[latency] = \
+                self.write_latencies.get(latency, 0) + 1
         else:
             self.completed_reads += 1
-            self.total_read_latency += (completion_cycle
-                                        - request.arrival_cycle)
+            self.read_latencies[latency] = \
+                self.read_latencies.get(latency, 0) + 1
         return ready_at
 
     def _dequeue(self, request: MemoryRequest) -> None:

@@ -148,3 +148,25 @@ class MemoryController:
         if total_reads == 0:
             return 0.0
         return total_latency / total_reads
+
+    def read_latency_histogram(self):
+        """Read-latency distribution merged across all channels."""
+        from repro.sim.telemetry import LatencyHistogram
+        merged = LatencyHistogram()
+        for controller in self.channel_controllers:
+            merged.merge(controller.read_latency_histogram())
+        return merged
+
+    def write_latency_histogram(self):
+        """Write-latency distribution merged across all channels."""
+        from repro.sim.telemetry import LatencyHistogram
+        merged = LatencyHistogram()
+        for controller in self.channel_controllers:
+            merged.merge(controller.write_latency_histogram())
+        return merged
+
+    def queue_depths(self) -> list[int]:
+        """Instantaneous read+write queue occupancy per channel."""
+        return [controller.read_queue_occupancy
+                + controller.write_queue_occupancy
+                for controller in self.channel_controllers]

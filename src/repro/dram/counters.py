@@ -117,25 +117,49 @@ class CommandCounters:
                 in sorted(self.row_activation_counts.items())],
         }
 
+    def telemetry_counters(self) -> dict[str, int]:
+        """Cumulative scalar counters for the telemetry epoch sampler.
+
+        Part of the uniform stats-producer protocol (see
+        :mod:`repro.sim.telemetry`): every producer exposes its cumulative
+        integers under stable names so samplers and probes can diff them
+        across epochs without knowing the producer's class.
+        """
+        return {
+            "activates": self.activates,
+            "precharges": self.precharges,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "relocs": self.relocs,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+        }
+
     @classmethod
     def from_dict(cls, data: dict) -> "CommandCounters":
-        """Rebuild counters from :meth:`to_dict` output."""
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Counter fields newer than the payload fall back to zero, so cached
+        JSON written by an older code version still loads.
+        """
         counts = {(tuple(bank_key), row): count
                   for bank_key, row, count
                   in data.get("row_activation_counts", [])}
         return cls(
-            activates=data["activates"],
-            precharges=data["precharges"],
-            reads=data["reads"],
-            writes=data["writes"],
-            refreshes=data["refreshes"],
-            relocs=data["relocs"],
-            fast_activates=data["fast_activates"],
-            fast_reads=data["fast_reads"],
-            fast_writes=data["fast_writes"],
-            row_hits=data["row_hits"],
-            row_misses=data["row_misses"],
-            row_conflicts=data["row_conflicts"],
+            activates=data.get("activates", 0),
+            precharges=data.get("precharges", 0),
+            reads=data.get("reads", 0),
+            writes=data.get("writes", 0),
+            refreshes=data.get("refreshes", 0),
+            relocs=data.get("relocs", 0),
+            fast_activates=data.get("fast_activates", 0),
+            fast_reads=data.get("fast_reads", 0),
+            fast_writes=data.get("fast_writes", 0),
+            row_hits=data.get("row_hits", 0),
+            row_misses=data.get("row_misses", 0),
+            row_conflicts=data.get("row_conflicts", 0),
             track_row_activations=data.get("track_row_activations", False),
             row_activation_counts=counts,
         )

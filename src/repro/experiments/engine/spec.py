@@ -28,10 +28,11 @@ from repro.workloads.multiprogram import MultiprogrammedWorkload
 from repro.workloads.trace import TraceRecord
 
 #: Bump when the on-disk result format or the job-key recipe changes; old
-#: cache entries are then ignored instead of being misread.  Version 3:
-#: the device catalog added ``standard`` / per-standard fields to the
-#: system and DRAM configs, changing every config digest.
-CACHE_SCHEMA_VERSION = 3
+#: cache entries are then ignored instead of being misread.  Version 4:
+#: the telemetry subsystem added ``SystemConfig.telemetry`` (changing
+#: every config digest) and the optional ``telemetry`` section to
+#: serialised results.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)

@@ -17,16 +17,17 @@ from __future__ import annotations
 import math
 
 from repro.experiments.engine import ExperimentScale, SimJob, get_executor
-from repro.sim.config import SystemConfig
+from repro.sim.config import CONFIGURATION_NAMES, SystemConfig
 from repro.sim.metrics import SimulationResult
 from repro.sim.system import run_workload
 from repro.workloads.multiprogram import (MultiprogrammedWorkload,
                                           make_workload_suite)
 from repro.workloads.trace import TraceRecord
 
-#: The default set of configurations the paper compares (Section 8).
-DEFAULT_CONFIGURATIONS = ("Base", "LISA-VILLA", "FIGCache-Slow",
-                          "FIGCache-Fast", "FIGCache-Ideal", "LL-DRAM")
+#: The default set of configurations the paper compares (Section 8) —
+#: derived from the configuration registry's built-in entries, which are
+#: registered in the paper's presentation order.
+DEFAULT_CONFIGURATIONS = CONFIGURATION_NAMES
 
 __all__ = [
     "DEFAULT_CONFIGURATIONS",

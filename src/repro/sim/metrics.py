@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.dram.counters import CommandCounters
 from repro.energy.system_energy import SystemEnergyBreakdown
+from repro.sim.telemetry import TelemetryResult
 
 
 @dataclass
@@ -50,12 +51,16 @@ class CoreResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "CoreResult":
-        """Rebuild a per-core result from :meth:`to_dict` output."""
+        """Rebuild a per-core result from :meth:`to_dict` output.
+
+        Fields newer than the payload fall back to their zero defaults, so
+        cached JSON written by an older code version still loads.
+        """
         return cls(core_id=data["core_id"],
                    instructions=data["instructions"],
                    cycles=data["cycles"],
-                   llc_misses=data["llc_misses"],
-                   memory_instructions=data["memory_instructions"])
+                   llc_misses=data.get("llc_misses", 0),
+                   memory_instructions=data.get("memory_instructions", 0))
 
 
 @dataclass
@@ -89,6 +94,9 @@ class SimulationResult:
     relocation_cycles: int
     #: Energy breakdown (filled in by the system runner).
     energy: SystemEnergyBreakdown | None = None
+    #: Telemetry section (latency distributions + epoch time series), only
+    #: attached when the system configuration enables telemetry.
+    telemetry: TelemetryResult | None = None
     #: Optional extra per-experiment data.
     extra: dict = field(default_factory=dict)
 
@@ -116,8 +124,13 @@ class SimulationResult:
 
         ``extra`` must itself be JSON-serialisable for the round trip to be
         lossless; the experiment engine never stores anything else in it.
+
+        The ``telemetry`` key is only present when a telemetry section was
+        collected: results simulated with telemetry off serialise exactly
+        as they did before the telemetry subsystem existed, which is what
+        keeps the pre-refactor golden fixtures comparable bit for bit.
         """
-        return {
+        data = {
             "configuration": self.configuration,
             "workload": self.workload,
             "cores": [core.to_dict() for core in self.cores],
@@ -135,29 +148,45 @@ class SimulationResult:
             "energy": self.energy.to_dict() if self.energy else None,
             "extra": self.extra,
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Tolerant of payloads written by *older* code versions: any field
+        added after the payload was serialised falls back to its neutral
+        default instead of raising ``KeyError``.  Only the identity fields
+        (``configuration``, ``workload``, ``cores``, ``total_cycles``) are
+        required — a payload without those does not describe a result.
+        """
         from repro.energy.system_energy import SystemEnergyBreakdown
 
         energy = data.get("energy")
+        telemetry = data.get("telemetry")
+        counters = data.get("dram_counters")
         return cls(
             configuration=data["configuration"],
             workload=data["workload"],
             cores=[CoreResult.from_dict(core) for core in data["cores"]],
             total_cycles=data["total_cycles"],
-            elapsed_ns=data["elapsed_ns"],
-            dram_counters=CommandCounters.from_dict(data["dram_counters"]),
-            in_dram_cache_hit_rate=data["in_dram_cache_hit_rate"],
-            cache_lookups=data["cache_lookups"],
-            cache_hits=data["cache_hits"],
-            average_read_latency_cycles=data["average_read_latency_cycles"],
-            memory_reads=data["memory_reads"],
-            memory_writes=data["memory_writes"],
-            relocation_operations=data["relocation_operations"],
-            relocation_cycles=data["relocation_cycles"],
+            elapsed_ns=data.get("elapsed_ns", 0.0),
+            dram_counters=CommandCounters.from_dict(counters)
+            if counters is not None else CommandCounters(),
+            in_dram_cache_hit_rate=data.get("in_dram_cache_hit_rate", 0.0),
+            cache_lookups=data.get("cache_lookups", 0),
+            cache_hits=data.get("cache_hits", 0),
+            average_read_latency_cycles=data.get(
+                "average_read_latency_cycles", 0.0),
+            memory_reads=data.get("memory_reads", 0),
+            memory_writes=data.get("memory_writes", 0),
+            relocation_operations=data.get("relocation_operations", 0),
+            relocation_cycles=data.get("relocation_cycles", 0),
             energy=SystemEnergyBreakdown.from_dict(energy) if energy
+            else None,
+            telemetry=TelemetryResult.from_dict(telemetry) if telemetry
             else None,
             extra=data.get("extra") or {},
         )

@@ -62,15 +62,22 @@ class Simulator:
     """Event-driven co-simulation of cores and the memory system."""
 
     __slots__ = ('_cores', '_controller', '_limits', '_events', '_sequence',
-                 '_now', '_scheduled_wake', 'processed_events')
+                 '_now', '_scheduled_wake', '_telemetry', 'processed_events')
 
     def __init__(self, cores: list[TraceCore], controller: MemoryController,
-                 limits: SimulatorLimits | None = None):
+                 limits: SimulatorLimits | None = None,
+                 telemetry=None):
         if not cores:
             raise ValueError("at least one core is required")
         self._cores = cores
         self._controller = controller
         self._limits = limits or SimulatorLimits()
+        #: Optional epoch sampler (:class:`repro.sim.telemetry.Telemetry`).
+        #: The loop compares the clock against its next epoch boundary and
+        #: lets it observe the system at each crossing; with telemetry off
+        #: the boundary is an unreachable sentinel, so the only residual
+        #: cost is one integer comparison per event.
+        self._telemetry = telemetry
         self._events: list[tuple[int, int, int, object]] = []
         self._sequence = itertools.count()
         self._now = 0
@@ -159,6 +166,12 @@ class Simulator:
         route_cache = controller._route_cache
         controller_route = controller.route
         processed = self.processed_events
+        telemetry = self._telemetry
+        #: Next telemetry epoch boundary; with telemetry off the sentinel
+        #: sits past max_cycles (the limit check fires first), so the
+        #: per-event cost of the disabled path is this one comparison.
+        epoch_end = telemetry.next_epoch if telemetry is not None \
+            else max_cycles + 1
         cycle = 0
         while events:
             cycle, _, kind, payload = heappop(events)
@@ -171,6 +184,10 @@ class Simulator:
                 self._now = cycle
                 self.processed_events = processed
                 self._raise_limit(cycle)
+            if cycle >= epoch_end:
+                # Sample every boundary crossed before this event's effects
+                # apply; pure observation, so timing is unperturbed.
+                epoch_end = telemetry.advance(cycle)
             processed += 1
 
             if kind == _REQUEST_ARRIVAL:
@@ -272,6 +289,9 @@ class Simulator:
                           default=self._now)
         drain_cycle = self._controller.drain_all(self._now)
         self._now = max(self._now, drain_cycle, finish_cycle)
+        if telemetry is not None:
+            # Close the trailing partial epoch (includes the write drain).
+            telemetry.finalize(self._now)
         return finish_cycle
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.energy.system_energy import (SystemActivity, SystemEnergyModel,
 from repro.sim.config import SystemConfig, make_mechanism
 from repro.sim.metrics import CoreResult, SimulationResult
 from repro.sim.simulator import Simulator, SimulatorLimits
+from repro.sim.telemetry import Telemetry, TelemetryResult
 from repro.workloads.trace import TraceRecord
 
 
@@ -49,7 +50,12 @@ class System:
 
     def run(self, workload_name: str = "workload") -> SimulationResult:
         """Simulate the workload to completion and gather all metrics."""
-        simulator = Simulator(self.cores, self.controller, self._limits)
+        telemetry = None
+        if self.config.telemetry is not None:
+            telemetry = Telemetry(self.config.telemetry, self.cores,
+                                  self.controller, self.mechanisms)
+        simulator = Simulator(self.cores, self.controller, self._limits,
+                              telemetry=telemetry)
         simulator.run()
         self.processed_events = simulator.processed_events
 
@@ -91,6 +97,14 @@ class System:
             relocation_operations=relocation_ops,
             relocation_cycles=relocation_cycles,
         )
+        if telemetry is not None:
+            result.telemetry = TelemetryResult(
+                epoch_cycles=telemetry.epoch_cycles,
+                cpu_clock_ghz=clock_ghz,
+                read_latency=self.controller.read_latency_histogram(),
+                write_latency=self.controller.write_latency_histogram(),
+                epochs=telemetry.series,
+            )
         result.energy = self._compute_energy(result)
         return result
 

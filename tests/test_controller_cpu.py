@@ -5,10 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import BaseMechanism
-from repro.controller import (ChannelController, FRFCFSScheduler,
-                              MemoryController, MemoryRequest,
-                              SchedulerConfig)
-from repro.core import FIGCache, FIGCacheConfig
+from repro.controller import (FRFCFSScheduler, MemoryController,
+                              MemoryRequest)
+from repro.core import FIGCache
 from repro.cpu import (CacheConfig, CacheHierarchy, CoreConfig,
                        HierarchyConfig, MSHRFile, SetAssociativeCache,
                        TraceCore)
@@ -135,7 +134,6 @@ class TestChannelController:
 
     def test_busy_bank_defers_service_until_wake(self):
         device, controller = make_controller()
-        cc = controller.channel_controllers[0]
         first = make_request(device, 0x5000)
         controller.enqueue(first, 0)
         # Arrives while the bank is still busy with ``first``.
@@ -150,7 +148,6 @@ class TestChannelController:
     def test_average_read_latency_tracks_reads_only(self):
         device, controller = make_controller()
         read = make_request(device, 0x9000)
-        write = make_request(device, 0x9040, is_write=True)
         controller.enqueue(read, 0)
         cc = controller.channel_controllers[0]
         for _ in range(20):
@@ -366,7 +363,7 @@ class TestTraceCore:
         config = CoreConfig(mshr_entries=8, window_size=64)
         trace = simple_trace(30, bubbles=0, write_every=1)
         core = TraceCore(0, trace, config)
-        result = core.run(0)
+        core.run(0)
         # All stores: the core only pauses when MSHRs run out, not because
         # the window is blocked by a load.
         assert core.stats.llc_miss_stores > 0

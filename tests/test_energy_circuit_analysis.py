@@ -12,7 +12,7 @@ from repro.circuit import (BitlineParams, ChargeSharingModel,
                            analyze_reloc_timing)
 from repro.dram import CommandCounters, DRAMConfig
 from repro.energy import (DRAMEnergyModel, DRAMEnergyParams,
-                          SystemEnergyModel, SystemEnergyParams)
+                          SystemEnergyModel)
 from repro.energy.system_energy import SystemActivity
 
 

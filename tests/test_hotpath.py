@@ -18,9 +18,8 @@ from pathlib import Path
 import pytest
 
 from repro.baselines import BaseMechanism
-from repro.controller import (ChannelController, FRFCFSScheduler,
-                              MemoryController, MemoryRequest,
-                              SchedulerConfig)
+from repro.controller import (FRFCFSScheduler, MemoryController,
+                              MemoryRequest, SchedulerConfig)
 from repro.dram import DRAMConfig, DRAMDevice
 from repro.core.tag_store import FigTagStore
 from repro.cpu import TraceCore
