@@ -153,12 +153,25 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+#: Sentinel for an omitted ``--profile`` flag: ``--profile`` without an
+#: argument means "profile the default job", which argparse stores as
+#: ``None`` — so absence needs its own marker.
+_NO_PROFILE = object()
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.experiments import bench
 
-    report = bench.run_bench(quick=args.quick, repeats=args.repeats)
+    if args.profile is not _NO_PROFILE:
+        # Profile-only mode: no JSON report — the table goes to stdout so
+        # perf PRs can paste it straight into their discussion.
+        print(bench.profile_job(args.profile, backend=args.backend,
+                                top=args.profile_top))
+        return 0
+    report = bench.run_bench(quick=args.quick, repeats=args.repeats,
+                             backend=args.backend)
     output_dir = Path(args.output_dir)
     path = bench.write_report(report, output_dir)
 
@@ -340,6 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="baseline report to compute speedups against "
                             "(default benchmarks/perf/BENCH_baseline.json)")
+    bench.add_argument("--backend", default=None, metavar="NAME",
+                       help="simulation backend to time (python, turbo); "
+                            "default: REPRO_SIM_BACKEND or python.  The "
+                            "resolved name is recorded in the report")
+    bench.add_argument("--profile", nargs="?", const=None,
+                       default=_NO_PROFILE, metavar="JOB",
+                       help="cProfile one bench job (default: the first "
+                            "job of the matrix) and print the top "
+                            "functions instead of running the timed "
+                            "matrix")
+    bench.add_argument("--profile-top", type=int, default=25, metavar="N",
+                       help="rows of the --profile table (default 25)")
     bench.set_defaults(func=_cmd_bench)
 
     timeline = sub.add_parser("timeline",

@@ -152,6 +152,20 @@ class ChannelController:
         writes = self._writes_by_bank.get(flat_bank)
         return (len(reads) if reads else 0) + (len(writes) if writes else 0)
 
+    def wakeup_view(self) -> tuple[list, dict]:
+        """The live ``(wake-up heap, wake-cycle dict)`` pair for hot loops.
+
+        Accessor contract: the controller never rebinds ``_wakeup_heap``
+        or ``_wakeup_cycle`` after construction — both are mutated in
+        place — so a snapshot taken once per simulation run stays live for
+        the whole run.  The simulator hot loops peek these structures
+        directly instead of calling :meth:`next_wakeup` per event and
+        verify the contract with a debug assertion at the end of the run
+        (a subclass that rebinds either attribute would silently desync
+        the snapshot otherwise).
+        """
+        return self._wakeup_heap, self._wakeup_cycle
+
     def next_wakeup(self) -> int | None:
         """Earliest cycle at which a busy bank with pending work frees up.
 

@@ -26,15 +26,20 @@ bookkeeping to :meth:`repro.dram.bank.Bank.relocate` via the channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.dram.channel import Channel
 from repro.dram.config import DRAMConfig
 
 
-@dataclass(frozen=True)
-class RelocationRequest:
-    """One segment relocation to be performed by FIGARO."""
+class RelocationRequest(NamedTuple):
+    """One segment relocation to be performed by FIGARO.
+
+    A ``NamedTuple`` rather than a frozen dataclass: FIGCache builds one
+    (sometimes two — insertion plus dirty-victim writeback) per in-DRAM
+    cache miss, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     #: Flat bank index within the channel.
     flat_bank: int
@@ -50,8 +55,7 @@ class RelocationRequest:
     num_blocks: int
 
 
-@dataclass(frozen=True)
-class RelocationOutcome:
+class RelocationOutcome(NamedTuple):
     """Timing outcome of one segment relocation."""
 
     start_cycle: int
@@ -98,14 +102,22 @@ class FigaroEngine:
                 f"(both rows are in subarray {source_subarray})")
 
     def relocate(self, channel: Channel, now: int, request: RelocationRequest,
-                 keep_source_open: bool = False) -> RelocationOutcome:
+                 keep_source_open: bool = False,
+                 validate: bool = True) -> RelocationOutcome:
         """Execute one validated relocation; returns its timing outcome.
 
         ``keep_source_open`` is forwarded to the bank model: because the
         source and destination rows are in different subarrays, the
         destination-side ACTIVATE/PRECHARGE need not close the source row.
+
+        ``validate=False`` skips the constraint checks for callers whose
+        requests are valid by construction — FIGCache derives every
+        relocation from its own placement bookkeeping, so re-validating
+        each one on the miss path only burns scheduler time.  External
+        callers should leave validation on.
         """
-        self.validate(request)
+        if validate:
+            self.validate(request)
         result = channel.relocate(now, request.flat_bank, request.source_row,
                                   request.destination_row, request.num_blocks,
                                   keep_source_open=keep_source_open)

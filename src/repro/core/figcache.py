@@ -281,7 +281,8 @@ class FIGCache(CachingMechanism):
                 destination_column=slot_offset * self._cfg.segment_blocks,
                 num_blocks=self._cfg.segment_blocks)
             outcome = self._figaro.relocate(channel, current, request,
-                                            keep_source_open=True)
+                                            keep_source_open=True,
+                                            validate=False)
             relocation_cycles += outcome.cycles
             self.stats.relocation_operations += outcome.reloc_commands
             current = outcome.completion_cycle
@@ -318,7 +319,8 @@ class FIGCache(CachingMechanism):
                 destination_column=(victim.source_segment
                                     * self._cfg.segment_blocks),
                 num_blocks=self._cfg.segment_blocks)
-            outcome = self._figaro.relocate(channel, current, request)
+            outcome = self._figaro.relocate(channel, current, request,
+                                            validate=False)
             writeback_cycles = outcome.cycles
             current = outcome.completion_cycle
             self.stats.relocation_operations += outcome.reloc_commands

@@ -81,6 +81,12 @@ class _OutstandingMiss:
     instruction_position: int
     #: True when the window cannot retire past this miss (demand loads).
     blocks_window: bool
+    #: ``address`` masked to its cache block (``address & _block_mask``).
+    #: The reference loop matches completions by masking ``address`` on the
+    #: fly; the turbo backend precomputes the block at allocation so its
+    #: completion scan is a single field compare.  Defaults to -1 (unset)
+    #: for entries built by the reference path, which never reads it.
+    block: int = -1
 
 
 class IssuedRequest(NamedTuple):

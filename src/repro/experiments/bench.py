@@ -20,13 +20,16 @@ per-job and geometric-mean speedup against it, matching jobs by name.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import platform
+import pstats
 import resource
 import subprocess
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.experiments.engine import ExperimentScale
@@ -125,16 +128,32 @@ def peak_rss_bytes() -> int:
     return ru_maxrss * 1024 if sys.platform != "darwin" else ru_maxrss
 
 
+def resolve_backend_name(backend: str | None) -> str:
+    """The backend name a bench run with this ``--backend`` value uses.
+
+    ``None`` resolves through the normal selection chain (environment
+    variable, then default), so the recorded name is the backend that
+    actually ran — never a guess.  Unknown names raise ``ValueError``
+    before any job is timed.
+    """
+    from repro.sim.backend import resolve_backend
+    return resolve_backend(backend).name
+
+
 def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
-              repeats: int = 1) -> dict:
+              repeats: int = 1, backend: str | None = None) -> dict:
     """Time the benchmark matrix; returns the report dictionary.
 
     ``repeats`` re-runs every job and keeps the fastest wall time per job,
-    which damps scheduler/allocator noise on busy machines.
+    which damps scheduler/allocator noise on busy machines.  ``backend``
+    pins every job to one simulation backend; ``None`` uses the normal
+    selection chain.  The resolved name is recorded in the report so
+    cross-backend comparisons are detectable later.
     """
     scale = scale or ExperimentScale.bench()
     if quick:
         scale = ExperimentScale.tiny()
+    backend_name = resolve_backend_name(backend)
     jobs = figure7_jobs(scale, quick=quick)
 
     # Build every job's inputs up front (untimed), then time ``repeats``
@@ -142,7 +161,9 @@ def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
     # Interleaving the passes — rather than repeating one job back to back —
     # means a transient machine-load spike lands on different jobs in each
     # pass, so the per-job minimum filters it out.
-    inputs = [(job, *job.build(scale)) for job in jobs]
+    inputs = [(job, replace(config, backend=backend_name), traces)
+              for job in jobs
+              for config, traces in (job.build(scale),)]
     best_wall: dict[str, float] = {}
     best_cpu: dict[str, float] = {}
     events_by_job: dict[str, int] = {}
@@ -200,6 +221,7 @@ def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
         "platform": platform.platform(),
         "quick": quick,
         "repeats": max(repeats, 1),
+        "backend": backend_name,
         "scale": {
             "single_core_records": scale.single_core_records,
             "multicore_records": scale.multicore_records,
@@ -251,6 +273,10 @@ def compare_to_baseline(report: dict, baseline: dict) -> dict | None:
         speedups.append(speedup)
     if not speedups:
         return None
+    # Reports written before the backend field existed compare as the
+    # implicit reference backend.
+    backend = report.get("backend", "python")
+    baseline_backend = baseline.get("backend", "python")
     return {
         "baseline_rev": baseline.get("rev", "unknown"),
         "jobs_compared": len(speedups),
@@ -258,7 +284,51 @@ def compare_to_baseline(report: dict, baseline: dict) -> dict | None:
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
         "per_job": per_job,
+        "backend": backend,
+        "baseline_backend": baseline_backend,
+        # Cross-backend comparisons are sometimes the point (turbo vs
+        # python) and sometimes an accident (regressing turbo numbers
+        # against a python baseline); the flag lets the CLI warn either
+        # way without refusing the comparison.
+        "backend_mismatch": backend != baseline_backend,
     }
+
+
+def profile_job(job_name: str | None = None,
+                scale: ExperimentScale | None = None,
+                backend: str | None = None, top: int = 25) -> str:
+    """cProfile one bench job; returns the top-``top`` cumulative table.
+
+    The profiled region is exactly the timed region of :func:`run_bench`
+    (``System.run`` — trace and system construction excluded), so the
+    table explains the numbers the bench emits.  ``job_name`` defaults to
+    the first job of the full matrix; unknown names raise ``ValueError``
+    listing the available jobs.
+    """
+    scale = scale or ExperimentScale.bench()
+    backend_name = resolve_backend_name(backend)
+    jobs = figure7_jobs(scale)
+    by_name = {job.name: job for job in jobs}
+    if job_name is None:
+        job_name = jobs[0].name
+    job = by_name.get(job_name)
+    if job is None:
+        raise ValueError(f"unknown bench job {job_name!r}; choose one of "
+                         f"{sorted(by_name)}")
+    config, traces = job.build(scale)
+    system = System(replace(config, backend=backend_name), traces)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(job.workload)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (f"cProfile of bench job {job.name} "
+              f"(backend {backend_name}, "
+              f"{scale.single_core_records if job.kind == 'single-core' else scale.multicore_records} "
+              f"records/core), top {top} by cumulative time")
+    return header + "\n" + buffer.getvalue()
 
 
 def write_report(report: dict, output_dir: Path) -> Path:
@@ -275,7 +345,9 @@ def format_report(report: dict, comparison: dict | None) -> str:
     """Human-readable summary printed by the CLI."""
     totals = report["totals"]
     lines = [f"perf bench @ {report['rev']} "
-             f"(python {report['python']}, quick={report['quick']})"]
+             f"(python {report['python']}, "
+             f"backend {report.get('backend', 'python')}, "
+             f"quick={report['quick']})"]
     for job in report["jobs"]:
         lines.append(f"  {job['name']:<44s} {job['cpu_s']:8.3f}s cpu "
                      f"{job['events_per_sec']:12,.0f} events/s")
@@ -291,4 +363,10 @@ def format_report(report: dict, comparison: dict | None) -> str:
                      f"(min {comparison['min_speedup']:.2f}x, "
                      f"max {comparison['max_speedup']:.2f}x over "
                      f"{comparison['jobs_compared']} jobs)")
+        if comparison.get("backend_mismatch"):
+            lines.append(
+                f"  WARNING: comparing across simulation backends "
+                f"({comparison['backend']} report vs "
+                f"{comparison['baseline_backend']} baseline) — the "
+                f"speedup mixes backend choice with code changes")
     return "\n".join(lines)

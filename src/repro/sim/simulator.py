@@ -28,6 +28,7 @@ import gc
 import heapq
 import itertools
 import sys
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.controller.controller import MemoryController
@@ -38,14 +39,46 @@ _CORE_RUN = 0
 _REQUEST_ARRIVAL = 1
 _CONTROLLER_WAKE = 2
 
-#: Nesting depth of active :meth:`Simulator.run` calls in this process,
-#: with the interpreter state saved when the first run entered.  The
-#: guard keeps overlapping runs (nested or on other threads) from
-#: restoring the cyclic-GC / switch-interval state mid-way through an
-#: outer run.
+#: Nesting depth of active simulation runs in this process, with the
+#: interpreter state saved when the first run entered.  The guard keeps
+#: overlapping runs (nested or on other threads) from restoring the
+#: cyclic-GC / switch-interval state mid-way through an outer run.
 _active_runs = 0
 _saved_gc_enabled = False
 _saved_switch_interval = 0.0
+
+
+@contextmanager
+def interpreter_run_guard():
+    """Suspend cyclic GC and raise the GIL switch interval for one run.
+
+    The simulation event loops allocate heavily (requests, events,
+    results) but create no reference cycles — plain reference counting
+    reclaims everything.  Cyclic-GC passes triggered by the allocation
+    rate would only scan the heap for nothing, so they are suspended for
+    the duration of the run.  The GIL switch interval is raised for the
+    same reason: the loops are single-threaded and pure Python, so
+    frequent bytecode-level preemption checks buy nothing (1 s keeps any
+    co-resident threads schedulable, unlike a multi-second value, while
+    capturing essentially all of the benefit).  Shared by every
+    simulation backend (:mod:`repro.sim.backend`); re-entrant, restoring
+    the saved interpreter state only when the outermost run exits.
+    """
+    global _active_runs, _saved_gc_enabled, _saved_switch_interval
+    if _active_runs == 0:
+        _saved_gc_enabled = gc.isenabled()
+        _saved_switch_interval = sys.getswitchinterval()
+        gc.disable()
+        sys.setswitchinterval(1.0)
+    _active_runs += 1
+    try:
+        yield
+    finally:
+        _active_runs -= 1
+        if _active_runs == 0:
+            sys.setswitchinterval(_saved_switch_interval)
+            if _saved_gc_enabled:
+                gc.enable()
 
 
 @dataclass
@@ -115,30 +148,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> int:
         """Run until every core finishes its trace; returns the final cycle."""
-        # The event loop allocates heavily (requests, events, results) but
-        # creates no reference cycles — plain reference counting reclaims
-        # everything.  Cyclic-GC passes triggered by the allocation rate
-        # would only scan the heap for nothing, so they are suspended for
-        # the duration of the run.  The GIL switch interval is raised for
-        # the same reason: the loop is single-threaded and pure Python, so
-        # frequent bytecode-level preemption checks buy nothing (1 s keeps
-        # any co-resident threads schedulable, unlike a multi-second
-        # value, while capturing essentially all of the benefit).
-        global _active_runs, _saved_gc_enabled, _saved_switch_interval
-        if _active_runs == 0:
-            _saved_gc_enabled = gc.isenabled()
-            _saved_switch_interval = sys.getswitchinterval()
-            gc.disable()
-            sys.setswitchinterval(1.0)
-        _active_runs += 1
-        try:
+        with interpreter_run_guard():
             return self._run()
-        finally:
-            _active_runs -= 1
-            if _active_runs == 0:
-                sys.setswitchinterval(_saved_switch_interval)
-                if _saved_gc_enabled:
-                    gc.enable()
 
     def _run(self) -> int:
         for core in self._cores:
@@ -156,8 +167,10 @@ class Simulator:
         #: the loop peeks the lazily-invalidated heaps directly instead of
         #: calling MemoryController.next_wakeup after every event (the
         #: invalidation rule matches ChannelController.next_wakeup: a head
-        #: whose cycle disagrees with the live dict is stale).
-        wakeup_views = [(cc._wakeup_heap, cc._wakeup_cycle)
+        #: whose cycle disagrees with the live dict is stale).  The
+        #: snapshot stays live by the wakeup_view accessor contract (no
+        #: rebinding after construction), verified after the loop.
+        wakeup_views = [cc.wakeup_view()
                         for cc in controller.channel_controllers]
         #: With one channel (every single-core job) wake delivery can skip
         #: the MemoryController fan-out entirely.
@@ -282,6 +295,14 @@ class Simulator:
                              (wake, next(sequence), _CONTROLLER_WAKE, None))
         self._now = max(self._now, cycle)
         self.processed_events = processed
+        if __debug__:
+            for (heap, live), cc in zip(wakeup_views,
+                                        controller.channel_controllers):
+                current_heap, current_live = cc.wakeup_view()
+                assert heap is current_heap and live is current_live, (
+                    "ChannelController rebound its wake-up structures "
+                    "mid-run; the hoisted wakeup_views snapshot went "
+                    "stale (see ChannelController.wakeup_view)")
 
         # Flush any writes still sitting in the controller queues so that
         # command counts and energy reflect the whole workload.

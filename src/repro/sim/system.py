@@ -13,9 +13,10 @@ from repro.cpu.core import TraceCore
 from repro.dram.device import DRAMDevice
 from repro.energy.system_energy import (SystemActivity, SystemEnergyModel,
                                          SystemEnergyParams)
+from repro.sim.backend import resolve_backend
 from repro.sim.config import SystemConfig, make_mechanism
 from repro.sim.metrics import CoreResult, SimulationResult
-from repro.sim.simulator import Simulator, SimulatorLimits
+from repro.sim.simulator import SimulatorLimits
 from repro.sim.telemetry import Telemetry, TelemetryResult
 from repro.workloads.trace import TraceRecord
 
@@ -54,8 +55,9 @@ class System:
         if self.config.telemetry is not None:
             telemetry = Telemetry(self.config.telemetry, self.cores,
                                   self.controller, self.mechanisms)
-        simulator = Simulator(self.cores, self.controller, self._limits,
-                              telemetry=telemetry)
+        backend = resolve_backend(self.config.backend)
+        simulator = backend.create(self.cores, self.controller, self._limits,
+                                   telemetry=telemetry)
         simulator.run()
         self.processed_events = simulator.processed_events
 

@@ -1,0 +1,1974 @@
+"""Turbo simulation backend: batch-stepped streams, one fused hot loop.
+
+:class:`TurboSimulator` is a drop-in replacement for
+:class:`~repro.sim.simulator.Simulator` (same constructor, ``run()``,
+``now``, ``processed_events``) that produces **bit-identical** results —
+same event order, same timing, same counters, same telemetry — faster.
+It attacks the three costs that dominate the reference loop:
+
+1. **Heap traffic.**  For single-channel systems (every single-core
+   bench job) the global ``(cycle, seq, kind, payload)`` heap is
+   replaced by a merge over *naturally ordered event streams*: one
+   arrival deque per core (a core's issue cycles are monotonic, so the
+   fused issue loop batch-steps the core to its next stall and the
+   whole slack window of arrivals lands in a pre-sorted bucket), one
+   completion-run deque (a channel's completion cycles are monotonic
+   because every data burst chains on the shared bus), and a tiny list
+   of controller wake-ups (the only stream without an ordering
+   invariant; it holds at most a handful of entries, so a linear
+   min-scan beats a heap).  A plain integer sequence counter advances
+   at exactly the reference loop's push points, so tie-breaks — and
+   therefore every simulated outcome — are reproduced exactly,
+   including the reference loop's *stale* wake events (superseded wake
+   entries are kept and processed, because popping one still clears the
+   scheduled-wake latch and re-arms the next wake-up).
+
+2. **Timing math and interpreter overhead.**  The single-channel loop
+   is monolithic: the core's issue loop (``TraceCore.run_requests``),
+   the controller's queueing and scheduling
+   (``ChannelController.enqueue`` / ``wake`` / ``_try_schedule_bank``),
+   and the whole direct-access timing chain (``Channel.access`` →
+   ``Bank.access`` → ``Bank._activate``) are inlined into one function
+   body.  Everything hot is a true local (``LOAD_FAST`` — no closure
+   cells, no per-service calls), and the timing constants come from
+   precompiled flat tables (:mod:`repro.sim.turbo_tables`) indexed by
+   direction and speed class instead of chased through attributes.
+   KEEP the inlined blocks IN SYNC with their sources (each block names
+   its source); the golden fixtures and the cross-backend parity suite
+   (``tests/test_backend.py``) enforce the equivalence.  For the
+   in-DRAM-cache mechanisms (FIGCache, LISA-VILLA) the loop fuses the
+   tag probe *and* the miss's row access, then tail-calls the shared
+   insertion helpers (``FigCacheMechanism._insert_segment`` /
+   ``LisaVillaMechanism._insert_row``) so the relocation logic itself
+   stays in one place; only the cold service shapes (dirty-hit
+   writebacks and friends) still go through ``service``.
+
+3. **Allocation.**  Completed :class:`MemoryRequest` records are pooled
+   in a freelist and reused for future arrivals.  Reused requests draw
+   a fresh ``request_id`` from the same global counter, in the same
+   order, so FCFS tie-breaking is unchanged.  The single-channel loop
+   builds requests directly inside the fused issue loop (no
+   ``IssuedRequest`` tuples, no intermediate list) and its arrival
+   streams carry the pooled request itself — cycle in
+   ``arrival_cycle``, sequence number in ``event_seq`` — so the hottest
+   event kind allocates nothing at steady state.
+
+Multi-channel systems run a replica of the reference heap loop with the
+freelist pooling, inline address decode, and batch-stepped cores
+(:func:`_compile_core_plan` + ``_step_core``: the cycle-free cache
+hierarchy lets each core's hit/miss/writeback sequence be precompiled
+into prefix arrays, so a core advances to its next memory event with a
+``bisect`` instead of per-record simulation).  The stream merge itself
+is not used there — a merge pays one head comparison per stream per
+event, which loses to a C ``heappop`` once cores and channels multiply
+the stream count.
+
+State synchronisation: the single-channel loop keeps the controller's
+hot scalar counters (queue occupancies, drain mode, completion counts)
+in locals and writes them back before any outside observer can look —
+at telemetry epoch boundaries, on safety-limit errors, and at loop exit
+(before the end-of-run write drain).  Everything else (queues, wake-up
+structures, bank/rank/core state, latency histograms, DRAM counters) is
+mutated in place through the same objects the reference loop uses.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from heapq import heappop, heappush
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemoryRequest, _request_ids
+from repro.cpu.core import TraceCore, _OutstandingMiss
+from repro.sim.simulator import SimulatorLimits, interpreter_run_guard
+from repro.sim.turbo_tables import tables_for_channel
+
+_CORE_RUN = 0
+_REQUEST_ARRIVAL = 1
+_CONTROLLER_WAKE = 2
+
+
+def _compile_core_plan(core: TraceCore) -> tuple:
+    """Precompute one core's cache simulation into a batch-step plan.
+
+    The cache hierarchy is cycle-free: which accesses hit, which miss,
+    and which victims write back depend only on the access ORDER (LRU
+    over the address sequence), never on simulated time — and the core
+    executes its trace strictly in order, each record exactly once.  So
+    the whole three-level simulation runs here in one tight pass (the
+    same inline blocks as :meth:`CacheHierarchy.access` — KEEP IN SYNC),
+    and :func:`_step_core` later advances the core with prefix-sum
+    arithmetic instead of per-record work:
+
+    * ``cost_prefix[i]``  — issue-bandwidth cycles + exposed cache
+      latency of records [0, i): a hit run between two memory-touching
+      records advances ``core_cycle`` with one subtraction;
+    * ``instr_prefix[i]`` — instructions issued by records [0, i):
+      ``issued_instructions`` is a pure function of the record index,
+      so window-stall points fall out of one bisect over this array;
+    * ``mem_idx``/``mem_events`` — the sparse records that touch memory
+      (an LLC miss and/or dirty victim writebacks), as
+      ``(address, is_write, needs_memory, writebacks)`` tuples.
+
+    Hierarchy state and counters reach their end-of-run values up
+    front, which is unobservable: nothing reads them mid-run (the
+    telemetry layer samples only ``CoreStats``, which the stepper keeps
+    current from the prefix arrays and the returned stats bases), and
+    safety-limit overruns raise instead of truncating the trace.
+    """
+    trace = core._trace_fast
+    trace_length = core._trace_length
+    next_record = core._next_record
+    issued_instructions = core._issued_instructions
+    hier = core.hierarchy
+    fill_lower = hier._fill_lower
+    l1 = hier.l1
+    l1_sets = l1._sets
+    l1_mask = l1._set_mask
+    l1_num_sets = l1._num_sets
+    l1_offset = l1._offset_bits
+    l1_assoc = l1._associativity
+    l1_lat = hier._l1_hit.exposed_latency
+    l2 = hier.l2
+    l2_sets = l2._sets
+    l2_mask = l2._set_mask
+    l2_num_sets = l2._num_sets
+    l2_offset = l2._offset_bits
+    l2_assoc = l2._associativity
+    l2_lat = hier._l2_hit.exposed_latency
+    llc = hier.llc
+    llc_sets = llc._sets
+    llc_mask = llc._set_mask
+    llc_num_sets = llc._num_sets
+    llc_offset = llc._offset_bits
+    llc_assoc = llc._associativity
+    llc_lat = hier._llc_hit.exposed_latency
+    wb_list: list[int] = []
+    # Per-level counters accumulate in locals and flush once after the
+    # pass; _fill_lower keeps incrementing the attributes directly, which
+    # composes because these are pure deltas.
+    l1_hits = l1_misses = l1_writebacks = 0
+    l2_hits = l2_misses = l2_writebacks = 0
+    llc_hits = llc_misses = llc_writebacks = 0
+
+    cost_prefix = [0] * (next_record + 1)
+    cost_append = cost_prefix.append
+    instr_prefix = [0] * next_record + [issued_instructions]
+    instr_append = instr_prefix.append
+    mem_idx: list[int] = []
+    mem_idx_append = mem_idx.append
+    mem_events: list[tuple] = []
+    mem_events_append = mem_events.append
+    cost_acc = 0
+    instr_acc = issued_instructions
+    for record_index in range(next_record, trace_length):
+        issue_cycles, instructions, address, is_write = trace[record_index]
+        instr_acc += instructions
+        instr_append(instr_acc)
+
+        block = address >> l1_offset
+        cache_set = l1_sets[
+            block & l1_mask if l1_mask is not None
+            else block % l1_num_sets]
+        dirty = cache_set.get(block)
+        if dirty is not None:
+            l1_hits += 1
+            if next(reversed(cache_set)) == block:
+                if is_write and not dirty:
+                    cache_set[block] = True
+            else:
+                del cache_set[block]
+                cache_set[block] = dirty or is_write
+            cost_acc += issue_cycles + l1_lat
+            cost_append(cost_acc)
+            continue
+        l1_misses += 1
+        if len(cache_set) >= l1_assoc:
+            victim_block = next(iter(cache_set))
+            if cache_set.pop(victim_block):
+                l1_writebacks += 1
+                fill_lower(l2, victim_block << l1_offset, True, wb_list)
+        cache_set[block] = is_write
+
+        block = address >> l2_offset
+        cache_set = l2_sets[
+            block & l2_mask if l2_mask is not None
+            else block % l2_num_sets]
+        dirty = cache_set.get(block)
+        if dirty is not None:
+            l2_hits += 1
+            if next(reversed(cache_set)) == block:
+                if is_write and not dirty:
+                    cache_set[block] = True
+            else:
+                del cache_set[block]
+                cache_set[block] = dirty or is_write
+            # An L2 hit absorbs the L1-victim fill's writebacks,
+            # matching the reference model.
+            if wb_list:
+                del wb_list[:]
+            cost_acc += issue_cycles + l2_lat
+            cost_append(cost_acc)
+            continue
+        l2_misses += 1
+        if len(cache_set) >= l2_assoc:
+            victim_block = next(iter(cache_set))
+            if cache_set.pop(victim_block):
+                l2_writebacks += 1
+                fill_lower(llc, victim_block << l2_offset, True, wb_list)
+        cache_set[block] = is_write
+
+        block = address >> llc_offset
+        cache_set = llc_sets[
+            block & llc_mask if llc_mask is not None
+            else block % llc_num_sets]
+        dirty = cache_set.get(block)
+        if dirty is not None:
+            llc_hits += 1
+            if next(reversed(cache_set)) == block:
+                if is_write and not dirty:
+                    cache_set[block] = True
+            else:
+                del cache_set[block]
+                cache_set[block] = dirty or is_write
+            needs_memory = False
+        else:
+            llc_misses += 1
+            if len(cache_set) >= llc_assoc:
+                victim_block = next(iter(cache_set))
+                if cache_set.pop(victim_block):
+                    llc_writebacks += 1
+                    wb_list.append(victim_block << llc_offset)
+            cache_set[block] = is_write
+            needs_memory = True
+        cost_acc += issue_cycles + llc_lat
+        cost_append(cost_acc)
+        if wb_list:
+            wbs = tuple(wb_list)
+            del wb_list[:]
+        else:
+            wbs = ()
+        if needs_memory or wbs:
+            mem_idx_append(record_index)
+            mem_events_append((address, is_write, needs_memory, wbs))
+    l1.hits += l1_hits
+    l1.misses += l1_misses
+    l1.writebacks += l1_writebacks
+    l2.hits += l2_hits
+    l2.misses += l2_misses
+    l2.writebacks += l2_writebacks
+    llc.hits += llc_hits
+    llc.misses += llc_misses
+    llc.writebacks += llc_writebacks
+    # Every LLC probe miss is a memory miss (and vice versa), so the
+    # hierarchy-level counter advances in lockstep with llc.misses.
+    hier.llc_misses += llc_misses
+    hier.accesses += trace_length - next_record
+
+    # CoreStats flush bases: the stepper assigns absolute values derived
+    # from the prefix arrays, so telemetry epoch sampling always reads
+    # current numbers no matter how far the core has stepped.
+    stats_instr_base = core.stats.instructions - issued_instructions
+    stats_mem_base = core.stats.memory_instructions - next_record
+    return (cost_prefix, instr_prefix, mem_idx, mem_events,
+            stats_instr_base, stats_mem_base)
+
+
+def _step_core(core: TraceCore, plan: tuple, now: int) -> list:
+    """Batch-stepped replacement for :meth:`TraceCore.run_requests`.
+
+    Advances ``core`` through its precompiled plan (KEEP the stall and
+    bookkeeping semantics IN SYNC with ``run_requests``): the loop runs
+    once per memory-touching record instead of once per trace record,
+    with cache-hit runs applied as prefix-sum differences and window
+    stalls located by one bisect.  State round-trips through the core's
+    attributes so :meth:`TraceCore.notify_completion` (and any outside
+    reader) keeps working unchanged between calls.  Returns the issued
+    requests as ``(issue_cycle, address, is_write)`` tuples, exactly
+    like the reference's ``IssuedRequest`` entries unpack.
+    """
+    requests: list = []
+    if core._finished:
+        return requests
+    (cost_prefix, instr_prefix, mem_idx, mem_events,
+     stats_instr_base, stats_mem_base) = plan
+    trace_length = len(cost_prefix) - 1
+    trace_n1 = trace_length + 1
+    next_record = core._next_record
+    core_cycle = core._core_cycle
+    if now > core_cycle:
+        core_cycle = now
+    outstanding = core._outstanding
+    outstanding_append = outstanding.append
+    mshr_entries = core._mshr_entries
+    mshr_capacity = core._mshr_capacity
+    mshr_get = mshr_entries.get
+    mshr_shift = core._mshr_shift
+    block_mask = core._block_mask
+    mshrs = core.mshrs
+    window_size = core._window_size
+    run_stats = core.stats
+    requests_append = requests.append
+    n_mem_events = len(mem_idx)
+    mem_ptr = bisect_left(mem_idx, next_record)
+    new_writebacks = 0
+    new_miss_loads = 0
+    new_miss_stores = 0
+    while next_record < trace_length:
+        if len(mshr_entries) >= mshr_capacity:
+            break
+        if outstanding:
+            oldest = outstanding[0]
+            if oldest.blocks_window:
+                window_limit = oldest.instruction_position + window_size
+                if instr_prefix[next_record] >= window_limit:
+                    break
+                stop = bisect_left(instr_prefix, window_limit,
+                                   next_record + 1)
+            else:
+                stop = trace_n1
+        else:
+            stop = trace_n1
+        ev = mem_idx[mem_ptr] if mem_ptr < n_mem_events else trace_length
+        if ev < stop and ev < trace_length:
+            # Hit run up to (and including) the memory record — its
+            # issue cost and exposed cache latency are in the prefix.
+            core_cycle += cost_prefix[ev + 1] - cost_prefix[next_record]
+            next_record = ev + 1
+            address, is_write, needs_memory, wbs = mem_events[mem_ptr]
+            mem_ptr += 1
+            for writeback_address in wbs:
+                new_writebacks += 1
+                requests_append((core_cycle, writeback_address, True))
+            if not needs_memory:
+                continue
+            # Inline MSHRFile.allocate: the loop head guarantees a free
+            # entry.
+            block = address >> mshr_shift
+            merged_count = mshr_get(block)
+            if merged_count is None:
+                mshr_entries[block] = 1
+                mshrs.allocations += 1
+                new_entry = True
+            else:
+                mshr_entries[block] = merged_count + 1
+                mshrs.merges += 1
+                new_entry = False
+            if is_write:
+                new_miss_stores += 1
+            else:
+                new_miss_loads += 1
+            if new_entry:
+                requests_append((core_cycle, address, False))
+                outstanding_append(_OutstandingMiss(
+                    address, instr_prefix[next_record], not is_write,
+                    address & block_mask))
+            elif not is_write:
+                # The miss merged into an existing MSHR; the load still
+                # blocks the window on the earlier request's completion.
+                outstanding_append(_OutstandingMiss(
+                    address, instr_prefix[next_record], True,
+                    address & block_mask))
+            continue
+        # No executable memory record: pure hit run to the window-stall
+        # point or the end of the trace.
+        stop_record = stop if stop < trace_length else trace_length
+        core_cycle += cost_prefix[stop_record] - cost_prefix[next_record]
+        next_record = stop_record
+        break
+    core._next_record = next_record
+    core._core_cycle = core_cycle
+    issued_instructions = instr_prefix[next_record]
+    core._issued_instructions = issued_instructions
+    run_stats.instructions = stats_instr_base + issued_instructions
+    run_stats.memory_instructions = stats_mem_base + next_record
+    run_stats.writebacks += new_writebacks
+    run_stats.llc_miss_loads += new_miss_loads
+    run_stats.llc_miss_stores += new_miss_stores
+    if next_record >= trace_length and not outstanding:
+        core._retire()
+    return requests
+
+
+class TurboSimulator:
+    """Accelerated event-driven co-simulation (bit-identical results)."""
+
+    __slots__ = ('_cores', '_controller', '_limits', '_telemetry', '_now',
+                 'processed_events')
+
+    def __init__(self, cores: list[TraceCore], controller: MemoryController,
+                 limits: SimulatorLimits | None = None,
+                 telemetry=None):
+        if not cores:
+            raise ValueError("at least one core is required")
+        self._cores = cores
+        self._controller = controller
+        self._limits = limits or SimulatorLimits()
+        self._telemetry = telemetry
+        self._now = 0
+        self.processed_events = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def run(self) -> int:
+        """Run until every core finishes its trace; returns the final cycle."""
+        with interpreter_run_guard():
+            if len(self._controller.channel_controllers) == 1 \
+                    and len(self._cores) == 1:
+                return self._run_single()
+            return self._run_multi()
+
+    # ------------------------------------------------------------------
+    # Shared tail: write drain and telemetry finalisation.
+    # ------------------------------------------------------------------
+    def _finish(self, cycle: int, processed: int) -> int:
+        self._now = max(self._now, cycle)
+        self.processed_events = processed
+        # Flush any writes still sitting in the controller queues so that
+        # command counts and energy reflect the whole workload.
+        finish_cycle = max((core.stats.finish_cycle for core in self._cores),
+                          default=self._now)
+        drain_cycle = self._controller.drain_all(self._now)
+        self._now = max(self._now, drain_cycle, finish_cycle)
+        if self._telemetry is not None:
+            # Close the trailing partial epoch (includes the write drain).
+            self._telemetry.finalize(self._now)
+        return finish_cycle
+
+    def _raise_limit(self, cycle: int) -> None:
+        """Report which safety limit the next event would exceed."""
+        if cycle > self._limits.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded {self._limits.max_cycles} cycles")
+        raise RuntimeError(
+            f"simulation exceeded {self._limits.max_events} events "
+            f"({self.processed_events} processed)")
+
+    # ------------------------------------------------------------------
+    # Fused single-channel loop.
+    # ------------------------------------------------------------------
+    def _run_single(self) -> int:
+        from repro.baselines.lisa_villa import LISAVillaMechanism
+        from repro.core.figcache import FIGCache
+        from repro.dram.address import DecodedAddress
+
+        controller = self._controller
+        cc = controller.channel_controllers[0]
+        channel = cc.channel
+        banks = channel._banks
+        rank_of = channel._rank_of
+        apply_refresh = channel._apply_refresh
+        # Refresh enablement is uniform across a channel's ranks (one
+        # constructor flag; see Channel.__init__).
+        refresh_on = rank_of[0].refresh_enabled if rank_of else False
+        counters = channel.counters
+        track_rows = counters.track_row_activations
+        # DRAM counter deltas live in locals and are flushed at every
+        # observation point (telemetry epochs, safety-limit errors, loop
+        # exit).  External increments — refresh, the mechanism's miss
+        # path, the end-of-run drain — keep mutating the attributes
+        # directly; the deltas compose with them because nothing reads
+        # the counters between flushes.
+        c_row_hits = 0
+        c_row_misses = 0
+        c_row_conflicts = 0
+        c_precharges = 0
+        c_activates = 0
+        c_fast_activates = 0
+        c_reads = 0
+        c_fast_reads = 0
+        c_writes = 0
+        c_fast_writes = 0
+
+        tables = tables_for_channel(channel)
+        col_table = tables.col
+        act_table = tables.act
+        trp_slow, trp_fast = tables.trp
+        trrd = tables.trrd
+        tfaw = tables.tfaw
+        col_pacing = tables.col_pacing
+        tccd_l = tables.tccd_l
+        tccd_s = tables.tccd_s
+        act_bg_pacing = tables.act_bg_pacing
+        trrd_l = tables.trrd_l
+        all_fast = tables.all_fast
+        regular_rows = tables.regular_rows
+
+        # Controller internals, hoisted (mutated in place; the scalar
+        # counters live in true locals and are synced back at every
+        # observation point).
+        reads_by_bank = cc._reads_by_bank
+        writes_by_bank = cc._writes_by_bank
+        reads_get = reads_by_bank.get
+        writes_get = writes_by_bank.get
+        wakeup_heap, wakeup_cycle = cc.wakeup_view()
+        wakeup_get = wakeup_cycle.get
+        read_latencies = cc.read_latencies
+        write_latencies = cc.write_latencies
+        read_lat_get = read_latencies.get
+        write_lat_get = write_latencies.get
+        row_of = cc._row_of
+        direct_access = cc._direct_access
+        mechanism = cc.mechanism
+        mech_service = mechanism.service
+
+        # Mechanism specialisation: the FIGCache and LISA-VILLA *hit*
+        # paths (tag probe, benefit/recency/dirty bookkeeping, target-row
+        # redirection) are inlined below.  Misses are fused too: the
+        # access itself is the plain timing block on the decoded row
+        # (exactly ``Channel.access``), and the insertion tail — the
+        # only mutation the miss path owns — runs afterwards through the
+        # shared ``_insert_segment`` / ``_insert_row`` helpers, so the
+        # relocation and replacement policies stay in one place.
+        # ``scan_kind`` picks the inline ``effective_row`` used by the
+        # FR-FCFS first-ready scan; ``service_kind`` picks the fused
+        # service resolution.  Unknown mechanism subclasses take the
+        # generic call paths (kind 3).  KEEP the inlined blocks IN SYNC
+        # with FIGCache.effective_row / FIGCache.service and
+        # LISAVillaMechanism.effective_row / LISAVillaMechanism.service.
+        fig_lookup = fig_entries = fig_tags = fig_row_ids = None
+        fig_stats = lisa_stats = None
+        fig_bank_caches = fig_may_cache = fig_insert = None
+        lisa_bank_state = lisa_insert = None
+        seg_blocks = segments_per_row = fig_benefit_max = 0
+        lisa_banks_get = None
+        lisa_benefit_max = lisa_fast_base = 0
+        if direct_access:
+            service_kind = 0
+        elif type(mechanism) is FIGCache:
+            service_kind = 1
+            fig_stats = mechanism.stats
+            seg_blocks = mechanism._segment_blocks
+            bank_caches = [mechanism._bank_cache(index)
+                           for index in range(len(banks))]
+            fig_lookup = [cache.tags._lookup for cache in bank_caches]
+            fig_entries = [cache.tags._entries for cache in bank_caches]
+            fig_tags = [cache.tags for cache in bank_caches]
+            fig_row_ids = [cache.cache_row_ids for cache in bank_caches]
+            segments_per_row = bank_caches[0].tags._segments_per_row
+            fig_benefit_max = bank_caches[0].tags._benefit_max
+            fig_bank_caches = bank_caches
+            fig_may_cache = mechanism._may_cache
+            fig_insert = mechanism._insert_segment
+        elif type(mechanism) is LISAVillaMechanism:
+            service_kind = 2
+            lisa_stats = mechanism.stats
+            lisa_banks_get = mechanism._banks.get
+            lisa_benefit_max = mechanism._benefit_max
+            lisa_fast_base = mechanism._fast_row_base
+            lisa_bank_state = mechanism._bank_state
+            lisa_insert = mechanism._insert_row
+        else:
+            service_kind = 3
+        if row_of is None:
+            scan_kind = 0
+        elif service_kind in (1, 2):
+            scan_kind = service_kind
+        else:
+            scan_kind = 3
+
+        # Address decode, inlined for route-cache misses (most bench
+        # traces touch each block a handful of times, so decodes are a
+        # sizeable share of arrivals).  KEEP IN SYNC with
+        # AddressMapper.decode / AddressMapper.flat_bank; the dispatch
+        # guarantees a single channel, so the channel field is zero.
+        mapper = controller._device.mapper
+        offset_bits = mapper._offset_bits
+        column_bits = mapper._column_bits
+        column_mask = (1 << column_bits) - 1
+        bank_bits = mapper._bank_bits
+        bank_mask = (1 << bank_bits) - 1
+        bankgroup_bits = mapper._bankgroup_bits
+        bankgroup_mask = (1 << bankgroup_bits) - 1
+        rank_bits = mapper._rank_bits
+        rank_mask = (1 << rank_bits) - 1
+        rows_per_bank = mapper._rows
+        banks_per_rank = mapper._banks_per_rank
+        banks_per_bankgroup = mapper._banks_per_bankgroup
+        route_cache = controller._route_cache
+        decoded_address = DecodedAddress
+
+        drain_high = cc._drain_high
+        drain_low = cc._drain_low
+        read_count = cc._read_count
+        write_count = cc._write_count
+        drain_mode = cc._drain_mode
+        completed_reads = cc.completed_reads
+        completed_writes = cc.completed_writes
+        route_cache_get = route_cache.get
+
+        max_cycles = self._limits.max_cycles
+        max_events = self._limits.max_events
+        telemetry = self._telemetry
+        epoch_end = telemetry.next_epoch if telemetry is not None \
+            else max_cycles + 1
+
+        request_ids = _request_ids
+        freelist: list[MemoryRequest] = []
+        freelist_pop = freelist.pop
+        freelist_append = freelist.append
+
+        # The single core's state lives in true locals for the whole run
+        # (KEEP IN SYNC with TraceCore.run_requests /
+        # TraceCore.notify_completion / TraceCore._retire): the batch
+        # issue loop and the inlined completion notification read and
+        # write them directly, and the scalars are published back to the
+        # core at every outside observation point.  ``run_stats`` is the
+        # core's live CoreStats — telemetry sampling reads it between
+        # events, when the per-batch accumulators are always flushed.
+        core = self._cores[0]
+        (trace, trace_length, mshr_entries, mshr_capacity, outstanding,
+         window_size, _issue_width, _hierarchy_access, mshrs, mshr_shift,
+         run_stats) = core._run_hot
+        core_id = core.core_id
+        block_mask = core._block_mask
+        mshr_get = mshr_entries.get
+        outstanding_append = outstanding.append
+        next_record = core._next_record
+        core_cycle = core._core_cycle
+        issued_instructions = core._issued_instructions
+        finished = core._finished
+
+        # --------------------------------------------------------------
+        # Precompile the batch-step plan for the single core (see
+        # _compile_core_plan): the cache hierarchy is cycle-free, so its
+        # whole three-level simulation runs up front and the core-run
+        # handler below advances the core with prefix-sum arithmetic —
+        # one loop iteration per memory-touching record, not per trace
+        # record.
+        (cost_prefix, instr_prefix, mem_idx, mem_events,
+         stats_instr_base, stats_mem_base) = _compile_core_plan(core)
+        trace_n1 = trace_length + 1
+        n_mem_events = len(mem_idx)
+        mem_ptr = 0
+        stat_writebacks = run_stats.writebacks
+        stat_miss_loads = run_stats.llc_miss_loads
+        stat_miss_stores = run_stats.llc_miss_stores
+
+        # Event streams.  ``seq`` advances at exactly the reference
+        # loop's push points so (cycle, seq) ordering is reproduced.
+        seq = 0
+        runs: deque = deque()
+        runs_append = runs.append
+        runs_popleft = runs.popleft
+        runs_append((0, seq))
+        seq += 1
+        arrivals: deque = deque()
+        arrivals_append = arrivals.append
+        arrivals_popleft = arrivals.popleft
+        wakes: list[tuple[int, int]] = []
+        wakes_append = wakes.append
+        scheduled_wake: int | None = None
+        processed = self.processed_events
+        cycle = 0
+
+        while True:
+            # ----------------------------------------------------------
+            # Pop the lexicographically smallest (cycle, seq) stream head.
+            # ----------------------------------------------------------
+            if runs:
+                head = runs[0]
+                best_cycle = head[0]
+                best_seq = head[1]
+                best_kind = _CORE_RUN
+            else:
+                best_kind = -1
+                best_cycle = 0
+                best_seq = 0
+            if arrivals:
+                req = arrivals[0]
+                req_cycle = req.arrival_cycle
+                if best_kind < 0 or req_cycle < best_cycle \
+                        or (req_cycle == best_cycle
+                            and req.event_seq < best_seq):
+                    best_cycle = req_cycle
+                    best_seq = req.event_seq
+                    best_kind = _REQUEST_ARRIVAL
+            if wakes:
+                wake_index = 0
+                wake_best = wakes[0]
+                for i in range(1, len(wakes)):
+                    if wakes[i] < wake_best:
+                        wake_best = wakes[i]
+                        wake_index = i
+                wake_cycle, wake_seq = wake_best
+                if best_kind < 0 or wake_cycle < best_cycle \
+                        or (wake_cycle == best_cycle
+                            and wake_seq < best_seq):
+                    best_cycle = wake_cycle
+                    best_seq = wake_seq
+                    best_kind = _CONTROLLER_WAKE
+            if best_kind < 0:
+                break
+            cycle = best_cycle
+            if cycle > max_cycles or processed >= max_events:
+                counters.row_hits += c_row_hits
+                counters.row_misses += c_row_misses
+                counters.row_conflicts += c_row_conflicts
+                counters.precharges += c_precharges
+                counters.activates += c_activates
+                counters.fast_activates += c_fast_activates
+                counters.reads += c_reads
+                counters.fast_reads += c_fast_reads
+                counters.writes += c_writes
+                counters.fast_writes += c_fast_writes
+                c_row_hits = c_row_misses = c_row_conflicts = 0
+                c_precharges = c_activates = c_fast_activates = 0
+                c_reads = c_fast_reads = c_writes = c_fast_writes = 0
+                cc._read_count = read_count
+                cc._write_count = write_count
+                cc._drain_mode = drain_mode
+                cc.completed_reads = completed_reads
+                cc.completed_writes = completed_writes
+                core._next_record = next_record
+                core._core_cycle = core_cycle
+                core._issued_instructions = issued_instructions
+                core._finished = finished
+                self._now = cycle
+                self.processed_events = processed
+                self._raise_limit(cycle)
+            if cycle >= epoch_end:
+                # The sampler reads the controller's counters: publish
+                # the locals before letting it observe.
+                counters.row_hits += c_row_hits
+                counters.row_misses += c_row_misses
+                counters.row_conflicts += c_row_conflicts
+                counters.precharges += c_precharges
+                counters.activates += c_activates
+                counters.fast_activates += c_fast_activates
+                counters.reads += c_reads
+                counters.fast_reads += c_fast_reads
+                counters.writes += c_writes
+                counters.fast_writes += c_fast_writes
+                c_row_hits = c_row_misses = c_row_conflicts = 0
+                c_precharges = c_activates = c_fast_activates = 0
+                c_reads = c_fast_reads = c_writes = c_fast_writes = 0
+                cc._read_count = read_count
+                cc._write_count = write_count
+                cc._drain_mode = drain_mode
+                cc.completed_reads = completed_reads
+                cc.completed_writes = completed_writes
+                epoch_end = telemetry.advance(cycle)
+            processed += 1
+
+            #: Banks the shared scheduling block should try to issue on,
+            #: and the requests completed by this event.
+            due_banks = None
+            completed = None
+
+            if best_kind == _REQUEST_ARRIVAL:
+                # Inline MemoryController.enqueue (route probe + decode)
+                # + ChannelController.enqueue (KEEP IN SYNC).
+                request = arrivals_popleft()
+                address = request.address
+                route_entry = route_cache_get(address)
+                if route_entry is None:
+                    bits = address >> offset_bits
+                    column = bits & column_mask
+                    bits >>= column_bits
+                    bank_index = bits & bank_mask
+                    bits >>= bank_bits
+                    bankgroup = bits & bankgroup_mask
+                    bits >>= bankgroup_bits
+                    rank_index = (bits & rank_mask) if rank_bits else 0
+                    bits >>= rank_bits
+                    decoded = decoded_address(0, rank_index, bankgroup,
+                                              bank_index,
+                                              bits % rows_per_bank, column)
+                    flat_bank = (rank_index * banks_per_rank
+                                 + bankgroup * banks_per_bankgroup
+                                 + bank_index)
+                    route_cache[address] = (decoded, flat_bank, cc)
+                    request.decoded = decoded
+                    request.flat_bank = flat_bank
+                else:
+                    request.decoded = route_entry[0]
+                    flat_bank = request.flat_bank = route_entry[1]
+                handled = False
+                if request.is_write:
+                    write_count += 1
+                    if not drain_mode and write_count >= drain_high:
+                        drain_mode = True
+                    index = writes_by_bank
+                else:
+                    index = reads_by_bank
+                    # Enqueue fast path: a sole read to a free bank is
+                    # picked unconditionally — service it immediately.
+                    if flat_bank not in reads_by_bank \
+                            and flat_bank not in writes_by_bank:
+                        bank = banks[flat_bank]
+                        busy_until = bank._busy_until
+                        nca = bank._next_col_allowed
+                        ready_at = busy_until if busy_until > nca else nca
+                        if ready_at <= cycle:
+                            # SERVICE copy A (read fast path) — KEEP IN
+                            # SYNC with copy B in the scheduling block
+                            # below, with Channel.access / Bank.access /
+                            # Bank._activate, with the FIGCache and
+                            # LISA-VILLA hit paths, and with the
+                            # completion bookkeeping of
+                            # _try_schedule_bank.  Resolve the target
+                            # row first: direct access serves the
+                            # decoded row; an in-DRAM cache hit runs its
+                            # tag bookkeeping inline and redirects to
+                            # the cache row (or the still-open source
+                            # row); misses and unknown mechanisms take
+                            # the generic service call.
+                            decoded = request.decoded
+                            insert_kind = 0
+                            if service_kind == 0:
+                                row = decoded.row
+                                cache_hit = None
+                                fused = True
+                            elif service_kind == 1:
+                                src_row = decoded.row
+                                segment = (decoded.column_block
+                                           // seg_blocks)
+                                slot = fig_lookup[flat_bank].get(
+                                    (src_row, segment))
+                                if slot is None:
+                                    # Fused miss: serve the source row
+                                    # through the timing block below;
+                                    # the insertion tail runs after it.
+                                    fig_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 1
+                                    fused = True
+                                else:
+                                    fig_stats.cache_lookups += 1
+                                    fig_stats.cache_hits += 1
+                                    tag_entry = \
+                                        fig_entries[flat_bank][slot]
+                                    if tag_entry.benefit < fig_benefit_max:
+                                        tag_entry.benefit += 1
+                                    tags = fig_tags[flat_bank]
+                                    tags._touch_counter += 1
+                                    tag_entry.last_touch = \
+                                        tags._touch_counter
+                                    if not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = fig_row_ids[flat_bank][
+                                            slot // segments_per_row]
+                                    cache_hit = True
+                                    fused = True
+                            elif service_kind == 2:
+                                src_row = decoded.row
+                                state = lisa_banks_get(flat_bank)
+                                tag_entry = None if state is None \
+                                    else state.entries.get(src_row)
+                                if tag_entry is None:
+                                    lisa_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 2
+                                    fused = True
+                                else:
+                                    lisa_stats.cache_lookups += 1
+                                    lisa_stats.cache_hits += 1
+                                    if tag_entry.benefit \
+                                            < lisa_benefit_max:
+                                        tag_entry.benefit += 1
+                                    if not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = lisa_fast_base \
+                                            + tag_entry.cache_slot
+                                    cache_hit = True
+                                    fused = True
+                            else:
+                                fused = False
+                            if fused:
+                                rank = rank_of[flat_bank]
+                                if refresh_on \
+                                        and cycle >= rank.next_refresh_due:
+                                    start = apply_refresh(cycle, flat_bank)
+                                else:
+                                    start = cycle
+                                served_fast = all_fast \
+                                    or row >= regular_rows
+                                busy_until = bank._busy_until
+                                if busy_until > start:
+                                    start = busy_until
+                                open_row = bank.open_row
+                                if open_row == row:
+                                    outcome = "hit"
+                                    c_row_hits += 1
+                                    col_cycle = bank._next_col_allowed
+                                    if start > col_cycle:
+                                        col_cycle = start
+                                else:
+                                    if open_row is None:
+                                        outcome = "miss"
+                                        c_row_misses += 1
+                                        act_cycle = start
+                                        naa = bank._next_act_allowed
+                                        if act_cycle < naa:
+                                            act_cycle = naa
+                                    else:
+                                        outcome = "conflict"
+                                        c_row_conflicts += 1
+                                        pre_cycle = bank._next_pre_allowed
+                                        if start > pre_cycle:
+                                            pre_cycle = start
+                                        act_cycle = pre_cycle + (
+                                            trp_fast if all_fast
+                                            or open_row >= regular_rows
+                                            else trp_slow)
+                                        c_precharges += 1
+                                    # Inline Bank._activate with rank
+                                    # tRRD/tFAW pacing and the bank-group
+                                    # tRRD_L split.
+                                    rrd_earliest = \
+                                        rank._last_activate + trrd
+                                    if rrd_earliest > act_cycle:
+                                        act_cycle = rrd_earliest
+                                    recent = rank._recent_activates
+                                    if len(recent) == 4:
+                                        faw_earliest = recent[0] + tfaw
+                                        if faw_earliest > act_cycle:
+                                            act_cycle = faw_earliest
+                                    if act_bg_pacing:
+                                        bg_last = rank._bg_last_act
+                                        bg_index = bank._bg_index
+                                        bg_earliest = \
+                                            bg_last[bg_index] + trrd_l
+                                        if bg_earliest > act_cycle:
+                                            act_cycle = bg_earliest
+                                        bg_last[bg_index] = act_cycle
+                                    rank._last_activate = act_cycle
+                                    recent.append(act_cycle)
+                                    c_activates += 1
+                                    if served_fast:
+                                        c_fast_activates += 1
+                                    if track_rows:
+                                        counters.record_row_activation(
+                                            bank._key, row)
+                                    bank.open_row = row
+                                    bank._last_act = act_cycle
+                                    trcd, tras = act_table[served_fast]
+                                    bank._next_pre_allowed = \
+                                        act_cycle + tras
+                                    col_cycle = act_cycle + trcd
+                                if col_pacing:
+                                    bg_index = bank._bg_index
+                                    earliest_col = \
+                                        rank._bg_last_col[bg_index] + tccd_l
+                                    cross = rank._last_col_cycle + tccd_s
+                                    if cross > earliest_col:
+                                        earliest_col = cross
+                                    if earliest_col > col_cycle:
+                                        col_cycle = earliest_col
+                                data_latency, tbl, tccd, t_a, t_b = \
+                                    col_table[served_fast]
+                                burst_start = col_cycle + data_latency
+                                bus_free_at = channel._bus_free_at
+                                if burst_start < bus_free_at:
+                                    burst_start = bus_free_at
+                                    col_cycle = burst_start - data_latency
+                                completion = burst_start + tbl
+                                channel._bus_free_at = completion
+                                c_reads += 1
+                                if served_fast:
+                                    c_fast_reads += 1
+                                next_col = col_cycle + tccd
+                                next_pre = col_cycle + t_a     # tRTP
+                                if next_col > bank._next_col_allowed:
+                                    bank._next_col_allowed = next_col
+                                if next_pre > bank._next_pre_allowed:
+                                    bank._next_pre_allowed = next_pre
+                                if col_cycle > bank._busy_until:
+                                    bank._busy_until = col_cycle
+                                if col_pacing:
+                                    rank._last_col_cycle = col_cycle
+                                    rank._bg_last_col[bg_index] = col_cycle
+                                request.in_dram_cache_hit = cache_hit
+                                request.row_buffer_outcome = outcome
+                                request.served_fast = served_fast
+                                if insert_kind:
+                                    # Inline FIGCache.service /
+                                    # LISAVillaMechanism.service miss
+                                    # tails (KEEP IN SYNC): insertion
+                                    # starts when the access data is
+                                    # back.  This path never schedules
+                                    # a bank wake, so the pushed-out
+                                    # bank readiness needs no re-read.
+                                    if insert_kind == 1:
+                                        bank_cache = \
+                                            fig_bank_caches[flat_bank]
+                                        insertion = \
+                                            bank_cache.insertion
+                                        if (bank_cache
+                                                .excluded_subarray < 0
+                                                or fig_may_cache(
+                                                    bank_cache,
+                                                    src_row)) \
+                                                and (insertion
+                                                     .always_inserts
+                                                     or insertion
+                                                     .should_insert(
+                                                         src_row,
+                                                         segment)):
+                                            fig_insert(
+                                                channel, completion,
+                                                flat_bank, bank_cache,
+                                                src_row, segment,
+                                                dirty=False)
+                                    else:
+                                        if state is None:
+                                            state = lisa_bank_state(
+                                                flat_bank)
+                                        lisa_insert(channel,
+                                                    completion,
+                                                    flat_bank, state,
+                                                    src_row,
+                                                    dirty=False)
+                            else:
+                                result = mech_service(channel, cycle,
+                                                      decoded,
+                                                      flat_bank, False)
+                                completion = result.completion_cycle
+                                request.in_dram_cache_hit = \
+                                    result.in_dram_cache_hit
+                                request.row_buffer_outcome = \
+                                    result.row_buffer_outcome
+                                request.served_fast = result.served_fast
+                            request.issue_cycle = cycle
+                            request.completion_cycle = completion
+                            completed_reads += 1
+                            latency = completion - request.arrival_cycle
+                            read_latencies[latency] = \
+                                read_lat_get(latency, 0) + 1
+                            # Inline TraceCore.notify_completion, copy A
+                            # (KEEP IN SYNC with copy B in the shared
+                            # delivery block and with TraceCore).
+                            block = address & block_mask
+                            kept = [miss for miss in outstanding
+                                    if miss.block != block]
+                            if len(kept) != len(outstanding):
+                                oldest = outstanding[0]
+                                stalled_before = \
+                                    len(mshr_entries) >= mshr_capacity \
+                                    or (oldest.blocks_window
+                                        and (issued_instructions
+                                             - oldest
+                                             .instruction_position)
+                                        >= window_size)
+                                outstanding[:] = kept
+                                del mshr_entries[address >> mshr_shift]
+                                if kept:
+                                    oldest = kept[0]
+                                    can_progress = not (
+                                        oldest.blocks_window
+                                        and (issued_instructions
+                                             - oldest
+                                             .instruction_position)
+                                        >= window_size)
+                                else:
+                                    can_progress = True
+                                if can_progress \
+                                        and completion > core_cycle:
+                                    stall = completion - core_cycle
+                                    if stalled_before \
+                                            and len(mshr_entries) + 1 \
+                                            >= mshr_capacity:
+                                        run_stats.stall_cycles_mshr += \
+                                            stall
+                                    else:
+                                        run_stats.stall_cycles_window += \
+                                            stall
+                                    core_cycle = completion
+                                if next_record >= trace_length \
+                                        and not outstanding:
+                                    # Inline TraceCore._retire.
+                                    finished = True
+                                    run_stats.finish_cycle = core_cycle
+                                if can_progress and not finished:
+                                    runs_append((completion, seq))
+                                    seq += 1
+                            freelist_append(request)
+                            handled = True
+                    if not handled:
+                        read_count += 1
+                if not handled:
+                    # Queue insert in FCFS (request_id) order.
+                    queue = index.get(flat_bank)
+                    if queue is None:
+                        index[flat_bank] = deque((request,))
+                    elif queue[-1].request_id < request.request_id:
+                        queue.append(request)
+                    else:
+                        # Rare out-of-order arrival: restore FCFS order.
+                        position = len(queue) - 1
+                        request_id = request.request_id
+                        while position > 0 \
+                                and queue[position - 1].request_id \
+                                > request_id:
+                            position -= 1
+                        queue.insert(position, request)
+                    bank = banks[flat_bank]
+                    busy_until = bank._busy_until
+                    nca = bank._next_col_allowed
+                    ready_at = busy_until if busy_until > nca else nca
+                    if ready_at > cycle:
+                        # Busy bank: note the wake-up (pending work is
+                        # guaranteed — the request was just queued).
+                        existing = wakeup_get(flat_bank)
+                        if existing is None or ready_at < existing:
+                            wakeup_cycle[flat_bank] = ready_at
+                            heappush(wakeup_heap, (ready_at, flat_bank))
+                    else:
+                        due_banks = (flat_bank,)
+            elif best_kind == _CORE_RUN:
+                # Fused TraceCore.run_requests (KEEP IN SYNC), batch-
+                # stepped over the precomputed cache simulation: each
+                # iteration of the loop below handles one memory-touching
+                # record (or one stall), and the cache-hit run leading up
+                # to it advances the core with two prefix-array
+                # subtractions.  Window-stall points come from a single
+                # bisect over the instruction prefix; the MSHR-full and
+                # oldest-miss conditions are loop-invariant between
+                # memory records, so checking them once per iteration is
+                # exactly the reference's per-record check.
+                runs_popleft()
+                if not finished:
+                    if cycle > core_cycle:
+                        core_cycle = cycle
+                    while next_record < trace_length:
+                        if len(mshr_entries) >= mshr_capacity:
+                            break
+                        if outstanding:
+                            oldest = outstanding[0]
+                            if oldest.blocks_window:
+                                window_limit = (oldest.instruction_position
+                                                + window_size)
+                                if instr_prefix[next_record] >= window_limit:
+                                    break
+                                stop = bisect_left(instr_prefix,
+                                                   window_limit,
+                                                   next_record + 1)
+                            else:
+                                stop = trace_n1
+                        else:
+                            stop = trace_n1
+                        ev = mem_idx[mem_ptr] if mem_ptr < n_mem_events \
+                            else trace_length
+                        if ev < stop and ev < trace_length:
+                            # Hit run up to (and including) the memory
+                            # record — its issue cost and exposed cache
+                            # latency are already in the prefix.
+                            core_cycle += (cost_prefix[ev + 1]
+                                           - cost_prefix[next_record])
+                            next_record = ev + 1
+                            address, is_write, needs_memory, wbs = \
+                                mem_events[mem_ptr]
+                            mem_ptr += 1
+                            for writeback_address in wbs:
+                                stat_writebacks += 1
+                                if freelist:
+                                    request = freelist_pop()
+                                    request.core_id = core_id
+                                    request.address = writeback_address
+                                    request.is_write = True
+                                    request.arrival_cycle = core_cycle
+                                    request.request_id = next(request_ids)
+                                else:
+                                    request = MemoryRequest(
+                                        core_id, writeback_address, True,
+                                        core_cycle)
+                                request.event_seq = seq
+                                seq += 1
+                                arrivals_append(request)
+                            if not needs_memory:
+                                continue
+
+                            # Inline MSHRFile.allocate: the loop head
+                            # guarantees a free entry.
+                            block = address >> mshr_shift
+                            merged_count = mshr_get(block)
+                            if merged_count is None:
+                                mshr_entries[block] = 1
+                                mshrs.allocations += 1
+                                new_entry = True
+                            else:
+                                mshr_entries[block] = merged_count + 1
+                                mshrs.merges += 1
+                                new_entry = False
+                            if is_write:
+                                stat_miss_stores += 1
+                            else:
+                                stat_miss_loads += 1
+                            if new_entry:
+                                if freelist:
+                                    request = freelist_pop()
+                                    request.core_id = core_id
+                                    request.address = address
+                                    request.is_write = False
+                                    request.arrival_cycle = core_cycle
+                                    request.request_id = next(request_ids)
+                                else:
+                                    request = MemoryRequest(core_id, address,
+                                                            False, core_cycle)
+                                request.event_seq = seq
+                                seq += 1
+                                arrivals_append(request)
+                                outstanding_append(_OutstandingMiss(
+                                    address, instr_prefix[next_record],
+                                    not is_write, address & block_mask))
+                            elif not is_write:
+                                # The miss merged into an existing MSHR;
+                                # the load still blocks the window on the
+                                # earlier request's completion.
+                                outstanding_append(_OutstandingMiss(
+                                    address, instr_prefix[next_record],
+                                    True, address & block_mask))
+                            continue
+                        # No executable memory record: pure hit run to
+                        # the window-stall point or the end of the trace.
+                        stop_record = stop if stop < trace_length \
+                            else trace_length
+                        core_cycle += (cost_prefix[stop_record]
+                                       - cost_prefix[next_record])
+                        next_record = stop_record
+                        break
+                    issued_instructions = instr_prefix[next_record]
+                    run_stats.instructions = \
+                        stats_instr_base + issued_instructions
+                    run_stats.memory_instructions = \
+                        stats_mem_base + next_record
+                    run_stats.writebacks = stat_writebacks
+                    run_stats.llc_miss_loads = stat_miss_loads
+                    run_stats.llc_miss_stores = stat_miss_stores
+                    if next_record >= trace_length and not outstanding:
+                        # Inline TraceCore._retire.
+                        finished = True
+                        run_stats.finish_cycle = core_cycle
+                continue
+            else:
+                # CONTROLLER_WAKE (the reference loop keeps superseded
+                # wake events in its heap; the wakes list mirrors that,
+                # swap-popping the consumed entry).
+                last = len(wakes) - 1
+                if wake_index != last:
+                    wakes[wake_index] = wakes[last]
+                del wakes[last]
+                if scheduled_wake is not None and scheduled_wake <= cycle:
+                    scheduled_wake = None
+                next_due = None
+                while wakeup_heap:
+                    head = wakeup_heap[0]
+                    if wakeup_get(head[1]) == head[0]:
+                        next_due = head[0]
+                        break
+                    heappop(wakeup_heap)
+                if next_due is None:
+                    continue
+                if next_due <= cycle:
+                    # Inline ChannelController.wake (KEEP IN SYNC).
+                    if len(wakeup_cycle) == 1:
+                        bank_index, due_cycle = \
+                            next(iter(wakeup_cycle.items()))
+                        if due_cycle <= cycle:
+                            del wakeup_cycle[bank_index]
+                            due_banks = (bank_index,)
+                    else:
+                        due = [bank_index for bank_index, due_cycle
+                               in wakeup_cycle.items() if due_cycle <= cycle]
+                        if due:
+                            for bank_index in due:
+                                del wakeup_cycle[bank_index]
+                            due_banks = due
+
+            # ----------------------------------------------------------
+            # Shared scheduling block: inline
+            # ChannelController._try_schedule_bank for each due bank
+            # (KEEP IN SYNC).
+            # ----------------------------------------------------------
+            if due_banks is not None:
+                completed = []
+                completed_append = completed.append
+                for flat_bank in due_banks:
+                    bank = banks[flat_bank]
+                    ready_at = bank._busy_until
+                    nca = bank._next_col_allowed
+                    if nca > ready_at:
+                        ready_at = nca
+                    while True:
+                        if ready_at > cycle:
+                            # Inline _note_wakeup, incl. its no-pending
+                            # guard.
+                            if flat_bank not in reads_by_bank \
+                                    and flat_bank not in writes_by_bank:
+                                wakeup_cycle.pop(flat_bank, None)
+                            else:
+                                existing = wakeup_get(flat_bank)
+                                if existing is None or ready_at < existing:
+                                    wakeup_cycle[flat_bank] = ready_at
+                                    heappush(wakeup_heap,
+                                             (ready_at, flat_bank))
+                            break
+                        # Inline FRFCFSScheduler.pick + _first_ready
+                        # (KEEP IN SYNC).  Class priority picks one
+                        # candidate queue — reads before writes except
+                        # during drain, writes opportunistically once
+                        # the backlog reaches the low watermark — and
+                        # the first-ready scan prefers the oldest
+                        # open-row hit, comparing each candidate's
+                        # *effective* row (inlined per mechanism; cache
+                        # hits may be served from a redirected cache
+                        # row, or from the source row while it is open
+                        # and the copy is clean).  A queue is deleted
+                        # when emptied, so a present queue is non-empty
+                        # and the scan always selects.
+                        bank_reads = reads_get(flat_bank)
+                        bank_writes = writes_get(flat_bank)
+                        if bank_writes is None:
+                            if bank_reads is None:
+                                break
+                            candidates = bank_reads
+                        elif bank_reads is None:
+                            if not drain_mode and write_count < drain_low:
+                                break
+                            candidates = bank_writes
+                        elif drain_mode:
+                            candidates = bank_writes
+                        else:
+                            candidates = bank_reads
+                        if len(candidates) == 1:
+                            request = candidates[0]
+                        else:
+                            request = None
+                            open_row = bank.open_row
+                            if open_row is not None:
+                                if scan_kind == 0:
+                                    for cand in candidates:
+                                        if cand.decoded.row == open_row:
+                                            request = cand
+                                            break
+                                elif scan_kind == 1:
+                                    # Inline FIGCache.effective_row.
+                                    lookup_get = fig_lookup[flat_bank].get
+                                    entries = fig_entries[flat_bank]
+                                    row_ids = fig_row_ids[flat_bank]
+                                    for cand in candidates:
+                                        cand_decoded = cand.decoded
+                                        cand_row = cand_decoded.row
+                                        slot = lookup_get(
+                                            (cand_row,
+                                             cand_decoded.column_block
+                                             // seg_blocks))
+                                        if slot is None:
+                                            effective = cand_row
+                                        elif not entries[slot].dirty \
+                                                and open_row == cand_row:
+                                            effective = cand_row
+                                        else:
+                                            effective = row_ids[
+                                                slot // segments_per_row]
+                                        if effective == open_row:
+                                            request = cand
+                                            break
+                                elif scan_kind == 2:
+                                    # Inline
+                                    # LISAVillaMechanism.effective_row
+                                    # (a missing bank state means an
+                                    # empty cache: every effective row
+                                    # is the decoded row).
+                                    state = lisa_banks_get(flat_bank)
+                                    if state is None:
+                                        for cand in candidates:
+                                            if cand.decoded.row \
+                                                    == open_row:
+                                                request = cand
+                                                break
+                                    else:
+                                        entries_get = state.entries.get
+                                        for cand in candidates:
+                                            cand_row = cand.decoded.row
+                                            tag_entry = \
+                                                entries_get(cand_row)
+                                            if tag_entry is None:
+                                                effective = cand_row
+                                            elif not tag_entry.dirty \
+                                                    and open_row \
+                                                    == cand_row:
+                                                effective = cand_row
+                                            else:
+                                                effective = \
+                                                    lisa_fast_base \
+                                                    + tag_entry.cache_slot
+                                            if effective == open_row:
+                                                request = cand
+                                                break
+                                else:
+                                    for cand in candidates:
+                                        if row_of(cand) == open_row:
+                                            request = cand
+                                            break
+                            if request is None:
+                                request = candidates[0]
+                        # Inline _dequeue.
+                        is_write = request.is_write
+                        if is_write:
+                            write_count -= 1
+                            if drain_mode and write_count <= drain_low:
+                                drain_mode = False
+                            index = writes_by_bank
+                        else:
+                            read_count -= 1
+                            index = reads_by_bank
+                        queue = index[flat_bank]
+                        if queue[0] is request:
+                            queue.popleft()
+                        else:
+                            queue.remove(request)
+                        if not queue:
+                            del index[flat_bank]
+                        # SERVICE copy B — KEEP IN SYNC with copy A
+                        # above (copy B additionally handles writes:
+                        # a write hit marks the tag entry dirty and is
+                        # always served from the cache row).
+                        decoded = request.decoded
+                        insert_kind = 0
+                        if service_kind == 0:
+                            row = decoded.row
+                            cache_hit = None
+                            fused = True
+                        elif service_kind == 1:
+                            src_row = decoded.row
+                            segment = decoded.column_block // seg_blocks
+                            slot = fig_lookup[flat_bank].get(
+                                (src_row, segment))
+                            if slot is None:
+                                # Fused miss (see copy A).
+                                fig_stats.cache_lookups += 1
+                                row = src_row
+                                cache_hit = False
+                                insert_kind = 1
+                                fused = True
+                            else:
+                                fig_stats.cache_lookups += 1
+                                fig_stats.cache_hits += 1
+                                tag_entry = fig_entries[flat_bank][slot]
+                                if tag_entry.benefit < fig_benefit_max:
+                                    tag_entry.benefit += 1
+                                tags = fig_tags[flat_bank]
+                                tags._touch_counter += 1
+                                tag_entry.last_touch = tags._touch_counter
+                                if is_write:
+                                    tag_entry.dirty = True
+                                    row = fig_row_ids[flat_bank][
+                                        slot // segments_per_row]
+                                elif not tag_entry.dirty \
+                                        and bank.open_row == src_row:
+                                    row = src_row
+                                else:
+                                    row = fig_row_ids[flat_bank][
+                                        slot // segments_per_row]
+                                cache_hit = True
+                                fused = True
+                        elif service_kind == 2:
+                            src_row = decoded.row
+                            state = lisa_banks_get(flat_bank)
+                            tag_entry = None if state is None \
+                                else state.entries.get(src_row)
+                            if tag_entry is None:
+                                lisa_stats.cache_lookups += 1
+                                row = src_row
+                                cache_hit = False
+                                insert_kind = 2
+                                fused = True
+                            else:
+                                lisa_stats.cache_lookups += 1
+                                lisa_stats.cache_hits += 1
+                                if tag_entry.benefit < lisa_benefit_max:
+                                    tag_entry.benefit += 1
+                                if is_write:
+                                    tag_entry.dirty = True
+                                    row = lisa_fast_base \
+                                        + tag_entry.cache_slot
+                                elif not tag_entry.dirty \
+                                        and bank.open_row == src_row:
+                                    row = src_row
+                                else:
+                                    row = lisa_fast_base \
+                                        + tag_entry.cache_slot
+                                cache_hit = True
+                                fused = True
+                        else:
+                            fused = False
+                        if fused:
+                            rank = rank_of[flat_bank]
+                            if refresh_on \
+                                    and cycle >= rank.next_refresh_due:
+                                start = apply_refresh(cycle, flat_bank)
+                            else:
+                                start = cycle
+                            served_fast = all_fast or row >= regular_rows
+                            busy_until = bank._busy_until
+                            if busy_until > start:
+                                start = busy_until
+                            open_row = bank.open_row
+                            if open_row == row:
+                                outcome = "hit"
+                                c_row_hits += 1
+                                col_cycle = bank._next_col_allowed
+                                if start > col_cycle:
+                                    col_cycle = start
+                            else:
+                                if open_row is None:
+                                    outcome = "miss"
+                                    c_row_misses += 1
+                                    act_cycle = start
+                                    naa = bank._next_act_allowed
+                                    if act_cycle < naa:
+                                        act_cycle = naa
+                                else:
+                                    outcome = "conflict"
+                                    c_row_conflicts += 1
+                                    pre_cycle = bank._next_pre_allowed
+                                    if start > pre_cycle:
+                                        pre_cycle = start
+                                    act_cycle = pre_cycle + (
+                                        trp_fast if all_fast
+                                        or open_row >= regular_rows
+                                        else trp_slow)
+                                    c_precharges += 1
+                                rrd_earliest = rank._last_activate + trrd
+                                if rrd_earliest > act_cycle:
+                                    act_cycle = rrd_earliest
+                                recent = rank._recent_activates
+                                if len(recent) == 4:
+                                    faw_earliest = recent[0] + tfaw
+                                    if faw_earliest > act_cycle:
+                                        act_cycle = faw_earliest
+                                if act_bg_pacing:
+                                    bg_last = rank._bg_last_act
+                                    bg_index = bank._bg_index
+                                    bg_earliest = \
+                                        bg_last[bg_index] + trrd_l
+                                    if bg_earliest > act_cycle:
+                                        act_cycle = bg_earliest
+                                    bg_last[bg_index] = act_cycle
+                                rank._last_activate = act_cycle
+                                recent.append(act_cycle)
+                                c_activates += 1
+                                if served_fast:
+                                    c_fast_activates += 1
+                                if track_rows:
+                                    counters.record_row_activation(
+                                        bank._key, row)
+                                bank.open_row = row
+                                bank._last_act = act_cycle
+                                trcd, tras = act_table[served_fast]
+                                bank._next_pre_allowed = act_cycle + tras
+                                col_cycle = act_cycle + trcd
+                            if col_pacing:
+                                bg_index = bank._bg_index
+                                earliest_col = \
+                                    rank._bg_last_col[bg_index] + tccd_l
+                                cross = rank._last_col_cycle + tccd_s
+                                if cross > earliest_col:
+                                    earliest_col = cross
+                                if earliest_col > col_cycle:
+                                    col_cycle = earliest_col
+                            data_latency, tbl, tccd, t_a, t_b = \
+                                col_table[2 | served_fast] if is_write \
+                                else col_table[served_fast]
+                            burst_start = col_cycle + data_latency
+                            bus_free_at = channel._bus_free_at
+                            if burst_start < bus_free_at:
+                                burst_start = bus_free_at
+                                col_cycle = burst_start - data_latency
+                            completion = burst_start + tbl
+                            channel._bus_free_at = completion
+                            if is_write:
+                                c_writes += 1
+                                if served_fast:
+                                    c_fast_writes += 1
+                                next_col = col_cycle + tccd
+                                turnaround = completion + t_a  # tWTR
+                                if turnaround > next_col:
+                                    next_col = turnaround
+                                next_pre = completion + t_b    # tWR
+                            else:
+                                c_reads += 1
+                                if served_fast:
+                                    c_fast_reads += 1
+                                next_col = col_cycle + tccd
+                                next_pre = col_cycle + t_a     # tRTP
+                            ready_at = bank._next_col_allowed
+                            if next_col > ready_at:
+                                bank._next_col_allowed = ready_at = next_col
+                            if next_pre > bank._next_pre_allowed:
+                                bank._next_pre_allowed = next_pre
+                            if col_cycle > bank._busy_until:
+                                bank._busy_until = col_cycle
+                            if col_pacing:
+                                rank._last_col_cycle = col_cycle
+                                rank._bg_last_col[bg_index] = col_cycle
+                            request.in_dram_cache_hit = cache_hit
+                            request.row_buffer_outcome = outcome
+                            request.served_fast = served_fast
+                            if insert_kind:
+                                # Inline FIGCache.service /
+                                # LISAVillaMechanism.service miss tails
+                                # (KEEP IN SYNC with copy A).  The
+                                # relocation work may push the bank's
+                                # busy window past the access, so
+                                # re-read its readiness (inline
+                                # Bank.ready_for_next) for the wake
+                                # scheduled below.
+                                if insert_kind == 1:
+                                    bank_cache = \
+                                        fig_bank_caches[flat_bank]
+                                    insertion = bank_cache.insertion
+                                    if (bank_cache.excluded_subarray
+                                            < 0
+                                            or fig_may_cache(
+                                                bank_cache, src_row)) \
+                                            and (insertion
+                                                 .always_inserts
+                                                 or insertion
+                                                 .should_insert(
+                                                     src_row,
+                                                     segment)):
+                                        fig_insert(channel, completion,
+                                                   flat_bank,
+                                                   bank_cache, src_row,
+                                                   segment,
+                                                   dirty=is_write)
+                                        busy = bank._busy_until
+                                        nca = bank._next_col_allowed
+                                        ready_at = busy \
+                                            if busy > nca else nca
+                                else:
+                                    if state is None:
+                                        state = lisa_bank_state(
+                                            flat_bank)
+                                    lisa_insert(channel, completion,
+                                                flat_bank, state,
+                                                src_row,
+                                                dirty=is_write)
+                                    busy = bank._busy_until
+                                    nca = bank._next_col_allowed
+                                    ready_at = busy \
+                                        if busy > nca else nca
+                        else:
+                            result = mech_service(channel, cycle,
+                                                  decoded,
+                                                  flat_bank, is_write)
+                            completion = result.completion_cycle
+                            request.in_dram_cache_hit = \
+                                result.in_dram_cache_hit
+                            request.row_buffer_outcome = \
+                                result.row_buffer_outcome
+                            request.served_fast = result.served_fast
+                            ready_at = result.bank_busy_until
+                        request.issue_cycle = cycle
+                        request.completion_cycle = completion
+                        latency = completion - request.arrival_cycle
+                        if is_write:
+                            completed_writes += 1
+                            write_latencies[latency] = \
+                                write_lat_get(latency, 0) + 1
+                        else:
+                            completed_reads += 1
+                            read_latencies[latency] = \
+                                read_lat_get(latency, 0) + 1
+                        completed_append(request)
+
+            if completed:
+                # Inline completion delivery (see Simulator._run) plus
+                # request pooling: reads are recycled right after their
+                # notify, writes immediately — nothing retains them.
+                for request in completed:
+                    if not request.is_write:
+                        completion_cycle = request.completion_cycle
+                        # Inline TraceCore.notify_completion, copy B
+                        # (KEEP IN SYNC with copy A in the arrival fast
+                        # path and with TraceCore).
+                        address = request.address
+                        block = address & block_mask
+                        kept = [miss for miss in outstanding
+                                if miss.block != block]
+                        if len(kept) != len(outstanding):
+                            oldest = outstanding[0]
+                            stalled_before = \
+                                len(mshr_entries) >= mshr_capacity \
+                                or (oldest.blocks_window
+                                    and (issued_instructions
+                                         - oldest.instruction_position)
+                                    >= window_size)
+                            outstanding[:] = kept
+                            del mshr_entries[address >> mshr_shift]
+                            if kept:
+                                oldest = kept[0]
+                                can_progress = not (
+                                    oldest.blocks_window
+                                    and (issued_instructions
+                                         - oldest.instruction_position)
+                                    >= window_size)
+                            else:
+                                can_progress = True
+                            if can_progress \
+                                    and completion_cycle > core_cycle:
+                                stall = completion_cycle - core_cycle
+                                if stalled_before \
+                                        and len(mshr_entries) + 1 \
+                                        >= mshr_capacity:
+                                    run_stats.stall_cycles_mshr += stall
+                                else:
+                                    run_stats.stall_cycles_window += stall
+                                core_cycle = completion_cycle
+                            if next_record >= trace_length \
+                                    and not outstanding:
+                                # Inline TraceCore._retire.
+                                finished = True
+                                run_stats.finish_cycle = core_cycle
+                            if can_progress and not finished:
+                                runs_append((completion_cycle, seq))
+                                seq += 1
+                    freelist_append(request)
+
+            # Trailing wake scheduling (skipped after CORE_RUN, exactly
+            # like the reference loop's `continue`).
+            wake_at = None
+            while wakeup_heap:
+                head = wakeup_heap[0]
+                if wakeup_get(head[1]) == head[0]:
+                    wake_at = head[0]
+                    break
+                heappop(wakeup_heap)
+            if wake_at is not None:
+                if wake_at < cycle:
+                    wake_at = cycle
+                if scheduled_wake is None or scheduled_wake > wake_at:
+                    scheduled_wake = wake_at
+                    wakes_append((wake_at, seq))
+                    seq += 1
+
+        counters.row_hits += c_row_hits
+        counters.row_misses += c_row_misses
+        counters.row_conflicts += c_row_conflicts
+        counters.precharges += c_precharges
+        counters.activates += c_activates
+        counters.fast_activates += c_fast_activates
+        counters.reads += c_reads
+        counters.fast_reads += c_fast_reads
+        counters.writes += c_writes
+        counters.fast_writes += c_fast_writes
+        c_row_hits = c_row_misses = c_row_conflicts = 0
+        c_precharges = c_activates = c_fast_activates = 0
+        c_reads = c_fast_reads = c_writes = c_fast_writes = 0
+        cc._read_count = read_count
+        cc._write_count = write_count
+        cc._drain_mode = drain_mode
+        cc.completed_reads = completed_reads
+        cc.completed_writes = completed_writes
+        core._next_record = next_record
+        core._core_cycle = core_cycle
+        core._issued_instructions = issued_instructions
+        core._finished = finished
+        if __debug__:
+            current_heap, current_live = cc.wakeup_view()
+            assert wakeup_heap is current_heap \
+                and wakeup_cycle is current_live, (
+                    "ChannelController rebound its wake-up structures "
+                    "mid-run; the hoisted snapshot went stale "
+                    "(see ChannelController.wakeup_view)")
+        return self._finish(cycle, processed)
+
+    # ------------------------------------------------------------------
+    # Multi-channel loop: the reference heap engine plus request pooling.
+    # ------------------------------------------------------------------
+    def _run_multi(self) -> int:
+        cores = self._cores
+        controller = self._controller
+        channel_controllers = controller.channel_controllers
+        wakeup_views = [cc.wakeup_view() for cc in channel_controllers]
+        route_cache_get = controller._route_cache.get
+        controller_wake = controller.wake
+
+        # Address decode, inlined for route-cache misses (the mixed
+        # multicore traces rarely repeat an address, so nearly every
+        # request pays a full decode).  KEEP IN SYNC with
+        # AddressMapper.decode / AddressMapper.flat_bank and
+        # MemoryController.route.
+        from repro.dram.address import DecodedAddress
+        mapper = controller._device.mapper
+        offset_bits = mapper._offset_bits
+        column_bits = mapper._column_bits
+        column_mask = (1 << column_bits) - 1
+        channel_bits = mapper._channel_bits
+        channel_mask = (1 << channel_bits) - 1
+        bank_bits = mapper._bank_bits
+        bank_mask = (1 << bank_bits) - 1
+        bankgroup_bits = mapper._bankgroup_bits
+        bankgroup_mask = (1 << bankgroup_bits) - 1
+        rank_bits = mapper._rank_bits
+        rank_mask = (1 << rank_bits) - 1
+        rows_per_bank = mapper._rows
+        banks_per_rank = mapper._banks_per_rank
+        banks_per_bankgroup = mapper._banks_per_bankgroup
+        route_cache = controller._route_cache
+        decoded_address = DecodedAddress
+
+        max_cycles = self._limits.max_cycles
+        max_events = self._limits.max_events
+        telemetry = self._telemetry
+        epoch_end = telemetry.next_epoch if telemetry is not None \
+            else max_cycles + 1
+
+        request_ids = _request_ids
+        freelist: list[MemoryRequest] = []
+        freelist_pop = freelist.pop
+        freelist_append = freelist.append
+
+        # Precompile every core's batch-step plan (the cache hierarchy
+        # is cycle-free; see _compile_core_plan).  Core-run events then
+        # go through _step_core, which does one loop iteration per
+        # memory-touching record instead of per trace record.
+        step_core = _step_core
+        core_plans = {core.core_id: _compile_core_plan(core)
+                      for core in cores}
+
+        # Ascending (cycle, seq) appends form a valid heap as-is.
+        seq = 0
+        events: list = []
+        for core in cores:
+            events.append((0, seq, _CORE_RUN, core))
+            seq += 1
+        scheduled_wake: int | None = None
+        processed = self.processed_events
+        cycle = 0
+        while events:
+            cycle, _, kind, payload = heappop(events)
+            if cycle > max_cycles or processed >= max_events:
+                self._now = cycle
+                self.processed_events = processed
+                self._raise_limit(cycle)
+            if cycle >= epoch_end:
+                epoch_end = telemetry.advance(cycle)
+            processed += 1
+
+            if kind == _REQUEST_ARRIVAL:
+                address = payload.address
+                entry = route_cache_get(address)
+                if entry is None:
+                    bits = address >> offset_bits
+                    column = bits & column_mask
+                    bits >>= column_bits
+                    channel_index = (bits & channel_mask) if channel_bits \
+                        else 0
+                    bits >>= channel_bits
+                    bank_index = bits & bank_mask
+                    bits >>= bank_bits
+                    bankgroup = bits & bankgroup_mask
+                    bits >>= bankgroup_bits
+                    rank_index = (bits & rank_mask) if rank_bits else 0
+                    bits >>= rank_bits
+                    decoded = decoded_address(channel_index, rank_index,
+                                              bankgroup, bank_index,
+                                              bits % rows_per_bank, column)
+                    flat_bank = (rank_index * banks_per_rank
+                                 + bankgroup * banks_per_bankgroup
+                                 + bank_index)
+                    channel_controller = channel_controllers[channel_index]
+                    route_cache[address] = (decoded, flat_bank,
+                                            channel_controller)
+                    payload.decoded = decoded
+                    payload.flat_bank = flat_bank
+                else:
+                    payload.decoded = entry[0]
+                    payload.flat_bank = entry[1]
+                    channel_controller = entry[2]
+                completed = channel_controller.enqueue(payload, cycle)
+                for request in completed:
+                    if not request.is_write:
+                        core = cores[request.core_id]
+                        completion_cycle = request.completion_cycle
+                        if core.notify_completion(request.address,
+                                                  completion_cycle):
+                            heappush(events, (completion_cycle, seq,
+                                              _CORE_RUN, core))
+                            seq += 1
+                    freelist_append(request)
+            elif kind == _CORE_RUN:
+                issued_requests = step_core(
+                    payload, core_plans[payload.core_id], cycle)
+                if issued_requests:
+                    core_id = payload.core_id
+                    for issue_cycle, address, is_write in issued_requests:
+                        if freelist:
+                            request = freelist_pop()
+                            request.core_id = core_id
+                            request.address = address
+                            request.is_write = is_write
+                            request.arrival_cycle = issue_cycle
+                            request.request_id = next(request_ids)
+                        else:
+                            request = MemoryRequest(core_id, address,
+                                                    is_write, issue_cycle)
+                        heappush(events, (issue_cycle, seq,
+                                          _REQUEST_ARRIVAL, request))
+                        seq += 1
+                continue
+            else:
+                if scheduled_wake is not None and scheduled_wake <= cycle:
+                    scheduled_wake = None
+                next_due = None
+                for heap, live in wakeup_views:
+                    while heap:
+                        head = heap[0]
+                        if live.get(head[1]) == head[0]:
+                            if next_due is None or head[0] < next_due:
+                                next_due = head[0]
+                            break
+                        heappop(heap)
+                if next_due is None:
+                    continue
+                if next_due <= cycle:
+                    woken = controller_wake(cycle)
+                    for request in woken:
+                        if not request.is_write:
+                            core = cores[request.core_id]
+                            completion_cycle = request.completion_cycle
+                            if core.notify_completion(request.address,
+                                                      completion_cycle):
+                                heappush(events, (completion_cycle, seq,
+                                                  _CORE_RUN, core))
+                                seq += 1
+                        freelist_append(request)
+            wake_at = None
+            for heap, live in wakeup_views:
+                while heap:
+                    head = heap[0]
+                    if live.get(head[1]) == head[0]:
+                        if wake_at is None or head[0] < wake_at:
+                            wake_at = head[0]
+                        break
+                    heappop(heap)
+            if wake_at is not None:
+                if wake_at < cycle:
+                    wake_at = cycle
+                if scheduled_wake is None or scheduled_wake > wake_at:
+                    scheduled_wake = wake_at
+                    heappush(events, (wake_at, seq, _CONTROLLER_WAKE, None))
+                    seq += 1
+
+        if __debug__:
+            for (heap, live), cc in zip(wakeup_views, channel_controllers):
+                current_heap, current_live = cc.wakeup_view()
+                assert heap is current_heap and live is current_live, (
+                    "ChannelController rebound its wake-up structures "
+                    "mid-run; the hoisted snapshot went stale "
+                    "(see ChannelController.wakeup_view)")
+        return self._finish(cycle, processed)
