@@ -29,8 +29,6 @@ def main() -> None:
     scale = ExperimentScale(multicore_records=1000, num_cores=4,
                             multicore_channels=2, mixes_per_category=1)
     suite = multicore_suite(scale)
-    executor = JobExecutor(cache=ResultCache(".repro-sweep-cache"),
-                           jobs=workers)
 
     # Declare every job of the sweep up front: the shared Base runs plus
     # one FIGCache-Fast point per (segment size, cache capacity) pair.
@@ -43,9 +41,13 @@ def main() -> None:
                     "FIGCache-Fast", w, scale,
                     segment_blocks=blocks, cache_rows_per_bank=rows)
 
-    start = time.perf_counter()
-    results = executor.run(jobs.values())
-    elapsed = time.perf_counter() - start
+    # The context manager shuts the warm worker pool down on exit; the
+    # pool is shared by every run() call made inside the block.
+    with JobExecutor(cache=ResultCache(".repro-sweep-cache"),
+                     jobs=workers) as executor:
+        start = time.perf_counter()
+        results = executor.run(jobs.values())
+        elapsed = time.perf_counter() - start
 
     table = []
     for blocks in SEGMENT_BLOCKS:

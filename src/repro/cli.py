@@ -170,6 +170,15 @@ def _cmd_bench(args) -> int:
         print(bench.profile_job(args.profile, backend=args.backend,
                                 top=args.profile_top))
         return 0
+    if args.sweep:
+        report = bench.run_sweep_bench(quick=args.quick,
+                                       jobs_levels=args.sweep_jobs,
+                                       repeats=args.repeats)
+        stem = args.output_name or f"BENCH_sweep_{report['rev']}"
+        path = bench.write_report(report, Path(args.output_dir), stem=stem)
+        print(bench.format_sweep_report(report))
+        print(f"report written to {path}")
+        return 0
     report = bench.run_bench(quick=args.quick, repeats=args.repeats,
                              backend=args.backend)
     output_dir = Path(args.output_dir)
@@ -365,6 +374,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "matrix")
     bench.add_argument("--profile-top", type=int, default=25, metavar="N",
                        help="rows of the --profile table (default 25)")
+    bench.add_argument("--sweep", action="store_true",
+                       help="benchmark the experiment engine's sweep "
+                            "throughput (jobs/sec, cold cache) instead of "
+                            "the simulator: warm-pool engine vs the PR-1 "
+                            "dispatch strategy at each --sweep-jobs level")
+    bench.add_argument("--sweep-jobs", type=_int_list, default=[1, 2, 4],
+                       metavar="N1,N2,...",
+                       help="worker counts the sweep bench measures "
+                            "(default 1,2,4)")
+    bench.add_argument("--output-name", default=None, metavar="STEM",
+                       help="report filename stem (default: "
+                            "BENCH_sweep_<rev> for --sweep, BENCH_<rev> "
+                            "otherwise)")
     bench.set_defaults(func=_cmd_bench)
 
     timeline = sub.add_parser("timeline",

@@ -24,20 +24,23 @@ from __future__ import annotations
 
 import os
 
-from repro.experiments.engine.cache import (CACHE_DIR_ENV, CacheStats,
+from repro.experiments.engine.cache import (CACHE_DIR_ENV,
+                                            COMPRESS_MIN_BYTES, CacheStats,
                                             ResultCache, cache_salt,
                                             default_cache_dir)
-from repro.experiments.engine.executor import (JOBS_ENV, JobExecutor,
-                                               resolve_jobs)
+from repro.experiments.engine.executor import (JOBS_ENV, JobExecutionError,
+                                               JobExecutor, resolve_jobs)
 from repro.experiments.engine.spec import (CACHE_SCHEMA_VERSION,
                                            ExperimentScale, SimJob)
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "COMPRESS_MIN_BYTES",
     "CacheStats",
     "ExperimentScale",
     "JOBS_ENV",
+    "JobExecutionError",
     "JobExecutor",
     "ResultCache",
     "SimJob",
@@ -67,16 +70,26 @@ def get_executor() -> JobExecutor:
     return _default_executor
 
 
-def configure(jobs: int | None = None,
-              cache_dir: str | None = None) -> JobExecutor:
-    """Replace the default executor (e.g. to apply CLI flags)."""
+def configure(jobs: int | None = None, cache_dir: str | None = None,
+              compress: bool | str = "auto") -> JobExecutor:
+    """Replace the default executor (e.g. to apply CLI flags).
+
+    The previous default's warm worker pool — if one was ever spun up —
+    is shut down so reconfiguring never leaks worker processes.
+    """
     global _default_executor
-    _default_executor = JobExecutor(cache=ResultCache(cache_dir), jobs=jobs)
+    if _default_executor is not None:
+        _default_executor.close()
+    _default_executor = JobExecutor(
+        cache=ResultCache(cache_dir, compress=compress), jobs=jobs)
     return _default_executor
 
 
 def reset() -> None:
-    """Discard the default executor; the next use rebuilds it from the
-    environment with an empty in-memory cache."""
+    """Discard the default executor (shutting down its warm pool); the
+    next use rebuilds it from the environment with an empty in-memory
+    cache."""
     global _default_executor
+    if _default_executor is not None:
+        _default_executor.close()
     _default_executor = None

@@ -1,10 +1,21 @@
 """Persistent, content-addressed simulation-result cache.
 
-Layout: one JSON file per result under the cache directory, named
-``<key>.json`` where ``key`` is the :meth:`SimJob.key` digest.  Each file
-records the salt (cache schema version + package version) it was written
-with; entries whose salt no longer matches are treated as misses, so a
-code upgrade invalidates stale results instead of replaying them.
+Layout: results fan out over two-level shard directories under the cache
+root — ``ab/<key>.json`` (or ``ab/<key>.json.gz`` for large payloads),
+where ``ab`` is the first two hex characters of the :meth:`SimJob.key`
+digest.  Sharding keeps directories small at million-entry sweeps, and an
+in-memory key index — loaded from one directory scan per process — makes
+``get()`` misses, ``stats()``, and repeated lookups pure memory
+operations instead of per-call filesystem traffic.
+
+Entries written by the original flat layout (``<key>.json`` directly in
+the cache root) remain readable: the index scan picks them up, and
+re-storing a key migrates its entry into the sharded layout.  ``clear()``
+removes both layouts.
+
+Each file records the salt (cache schema version + package version) it was
+written with; entries whose salt no longer matches are treated as misses,
+so a code upgrade invalidates stale results instead of replaying them.
 
 A :class:`ResultCache` always keeps an in-memory layer.  When constructed
 without a directory it is memory-only (the behaviour the test suite wants);
@@ -14,10 +25,12 @@ figure runs incremental across processes.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable
 
 import repro
 from repro.experiments.engine.spec import CACHE_SCHEMA_VERSION
@@ -25,6 +38,14 @@ from repro.sim.metrics import SimulationResult
 
 #: Environment variable selecting the default persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Serialized payloads at least this large are gzip-compressed under
+#: ``compress="auto"`` (telemetry-bearing results run to megabytes; plain
+#: results are under a kilobyte and stay human-readable).
+COMPRESS_MIN_BYTES = 32 * 1024
+
+#: Hex characters of the key used as the shard directory name.
+_SHARD_CHARS = 2
 
 
 def cache_salt() -> str:
@@ -56,14 +77,35 @@ class CacheStats:
     memory_entries: int = 0
     disk_entries: int = 0
     disk_bytes: int = 0
+    #: Disk entries stored gzip-compressed.
+    disk_compressed: int = 0
+    #: Disk entries still in the pre-sharding flat layout.
+    disk_legacy: int = 0
+
+
+def _is_entry(name: str) -> bool:
+    return name.endswith(".json") or name.endswith(".json.gz")
+
+
+def _entry_key(name: str) -> str:
+    return name[:-len(".json.gz")] if name.endswith(".json.gz") \
+        else name[:-len(".json")]
 
 
 class ResultCache:
-    """Two-level (memory + optional disk) cache of simulation results."""
+    """Two-level (memory + optional sharded disk) cache of results."""
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(self, directory: str | Path | None = None,
+                 compress: bool | str = "auto"):
         self.directory = Path(directory) if directory is not None else None
+        if compress not in (True, False, "auto"):
+            raise ValueError(f"compress must be True, False or 'auto', "
+                             f"got {compress!r}")
+        self.compress = compress
         self._memory: dict[str, SimulationResult] = {}
+        #: key -> (absolute Path, size in bytes); ``None`` until the first
+        #: persistent operation triggers the one-time directory scan.
+        self._index: dict[str, tuple[Path, int]] | None = None
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -73,8 +115,57 @@ class ResultCache:
         """Whether results survive the process (a directory is configured)."""
         return self.directory is not None
 
-    def _path(self, key: str) -> Path:
+    # ------------------------------------------------------------------
+    # Paths and the key index.
+    # ------------------------------------------------------------------
+    def _path(self, key: str, compressed: bool = False) -> Path:
+        """The sharded path a fresh entry for ``key`` is written to."""
+        name = f"{key}.json.gz" if compressed else f"{key}.json"
+        return self.directory / key[:_SHARD_CHARS] / name
+
+    def _legacy_path(self, key: str) -> Path:
+        """Where the pre-sharding flat layout stored ``key``."""
         return self.directory / f"{key}.json"
+
+    def _scan_index(self) -> dict[str, tuple[Path, int]]:
+        """One-time directory scan: every entry in either layout.
+
+        Sharded entries win over a legacy flat duplicate of the same key
+        (the flat file is a leftover from before a migration finished).
+        """
+        index: dict[str, tuple[Path, int]] = {}
+        legacy: dict[str, tuple[Path, int]] = {}
+        try:
+            root_entries = list(os.scandir(self.directory))
+        except OSError:
+            return index
+        for entry in root_entries:
+            name = entry.name
+            if entry.is_file() and _is_entry(name):
+                legacy[_entry_key(name)] = (Path(entry.path),
+                                            entry.stat().st_size)
+            elif entry.is_dir() and len(name) == _SHARD_CHARS:
+                try:
+                    shard_entries = list(os.scandir(entry.path))
+                except OSError:
+                    continue
+                for sub in shard_entries:
+                    if sub.is_file() and _is_entry(sub.name):
+                        index[_entry_key(sub.name)] = (Path(sub.path),
+                                                       sub.stat().st_size)
+        for key, value in legacy.items():
+            index.setdefault(key, value)
+        return index
+
+    def index(self) -> dict[str, tuple[Path, int]]:
+        """The in-memory key index (loaded on first use)."""
+        if self._index is None:
+            self._index = self._scan_index() if self.persistent else {}
+        return self._index
+
+    def refresh_index(self) -> None:
+        """Rescan the directory (e.g. after another process wrote to it)."""
+        self._index = None
 
     # ------------------------------------------------------------------
     # Lookup / store.
@@ -96,21 +187,51 @@ class ResultCache:
         """Store ``result`` under ``key`` (memory, and disk if persistent)."""
         self._memory[key] = result
         self._stores += 1
-        if self.directory is None:
-            return
-        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.directory is not None:
+            self._persist(key, result)
+
+    def put_many(self, items: Iterable[tuple[str, SimulationResult]]) -> None:
+        """Store a batch of ``(key, result)`` pairs.
+
+        The executor drains worker chunks through this: one call per
+        chunk, so every completed chunk is durable the moment it lands.
+        """
+        for key, result in items:
+            self.put(key, result)
+
+    def _persist(self, key: str, result: SimulationResult) -> None:
         payload = {"salt": cache_salt(), "key": key,
                    "result": result.to_dict()}
-        path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        compressed = (self.compress is True
+                      or (self.compress == "auto"
+                          and len(data) >= COMPRESS_MIN_BYTES))
+        if compressed:
+            data = gzip.compress(data, compresslevel=6)
+        path = self._path(key, compressed=compressed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
         tmp.replace(path)
+        index = self.index()
+        old = index.get(key)
+        if old is not None and old[0] != path:
+            # Migrate: drop the legacy flat file (or a differently
+            # compressed sharded sibling) the new entry supersedes.
+            old[0].unlink(missing_ok=True)
+        index[key] = (path, len(data))
 
     def _load(self, key: str) -> SimulationResult | None:
-        path = self._path(key)
+        entry = self.index().get(key)
+        if entry is None:
+            return None
+        path, _ = entry
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            data = path.read_bytes()
+            if path.name.endswith(".gz"):
+                data = gzip.decompress(data)
+            payload = json.loads(data)
+        except (OSError, json.JSONDecodeError, gzip.BadGzipFile):
             return None
         if payload.get("salt") != cache_salt():
             return None
@@ -123,23 +244,51 @@ class ResultCache:
     # Maintenance.
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Drop every entry (memory and disk); returns distinct entries
-        removed (an entry present in both layers counts once)."""
+        """Drop every entry (memory and disk, both layouts); returns
+        distinct entries removed (an entry present in several layers
+        counts once)."""
         keys = set(self._memory)
         self._memory.clear()
         if self.directory is not None and self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                keys.add(path.stem)
+            # The scan — not the possibly stale index — drives removal, so
+            # entries written by other processes are cleared too.
+            self._index = None
+            for key, (path, _) in self._scan_index().items():
+                keys.add(key)
                 path.unlink(missing_ok=True)
+            # A finished migration may leave superseded legacy duplicates
+            # the index hid; sweep any stragglers and empty shard dirs.
+            for path in self.directory.glob("*.json"):
+                keys.add(_entry_key(path.name))
+                path.unlink(missing_ok=True)
+            for shard in self.directory.iterdir():
+                if shard.is_dir() and len(shard.name) == _SHARD_CHARS:
+                    for path in shard.iterdir():
+                        if _is_entry(path.name):
+                            keys.add(_entry_key(path.name))
+                            path.unlink(missing_ok=True)
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+            self._index = {}
         return len(keys)
 
     def stats(self) -> CacheStats:
-        """Traffic counters plus current memory/disk occupancy."""
+        """Traffic counters plus current memory/disk occupancy.
+
+        Disk occupancy comes from the in-memory index — no filesystem
+        traffic after the initial scan.
+        """
         stats = CacheStats(hits=self._hits, misses=self._misses,
                            stores=self._stores,
                            memory_entries=len(self._memory))
-        if self.directory is not None and self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
+        if self.persistent:
+            for key, (path, size) in self.index().items():
                 stats.disk_entries += 1
-                stats.disk_bytes += path.stat().st_size
+                stats.disk_bytes += size
+                if path.name.endswith(".gz"):
+                    stats.disk_compressed += 1
+                if path.parent == self.directory:
+                    stats.disk_legacy += 1
         return stats

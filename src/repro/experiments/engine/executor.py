@@ -1,4 +1,4 @@
-"""Parallel job execution with cache-aware batching.
+"""Parallel job execution with a warm worker pool and cache-aware batching.
 
 :class:`JobExecutor` takes batches of :class:`~repro.experiments.engine.spec.SimJob`
 descriptions, answers every job it can from the :class:`ResultCache`, and
@@ -8,6 +8,28 @@ deterministic serial fallback that never spawns processes, and the two
 paths are bit-identical: every simulation is seeded and self-contained, so
 only wall-clock time changes with the worker count.
 
+Throughput machinery (what makes sustained sweeps fast):
+
+* **Warm persistent pool** — the executor owns one long-lived
+  ``ProcessPoolExecutor``, created lazily on the first parallel batch and
+  reused across every subsequent :meth:`JobExecutor.run` call, so a
+  session of figure batches pays pool spin-up once instead of per batch.
+  ``close()`` (or using the executor as a context manager) shuts it down.
+* **Per-worker memo** — a process-local cache installed by the worker
+  initializer memoizes trace generation and ``SystemConfig`` construction
+  by the job's :meth:`~SimJob.trace_signature` /
+  :meth:`~SimJob.config_signature`, so evaluating six configurations on
+  one benchmark generates the benchmark's trace once per worker, not six
+  times.  The serial path shares the same memo in the parent process.
+* **Chunked dispatch** — pending jobs are grouped (same-trace jobs
+  adjacent) into roughly ``4 x workers`` chunks per batch, amortizing
+  pickling and IPC round-trips over many jobs.
+* **Completion-order draining** — chunk results are consumed with
+  ``as_completed`` and written to the cache the moment they land, so a
+  crash mid-sweep loses only in-flight chunks: re-running the same sweep
+  against a persistent cache simulates only the jobs that never finished.
+  The *returned* mapping is still in deterministic submission order.
+
 The worker count resolves as: explicit ``jobs=`` argument, else the
 ``REPRO_JOBS`` environment variable, else 1 (serial).
 """
@@ -15,19 +37,136 @@ The worker count resolves as: explicit ``jobs=`` argument, else the
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from repro.experiments.engine.cache import ResultCache
 from repro.experiments.engine.spec import SimJob
 from repro.sim.metrics import SimulationResult
+from repro.sim.system import run_workload
 
 #: Environment variable selecting the default worker-process count.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Chunks created per worker and batch: enough that a slow chunk cannot
+#: leave workers idle for long, few enough that pickling/IPC is amortized
+#: over several jobs per round-trip.
+CHUNKS_PER_WORKER = 4
+
+#: Per-worker memo capacities.  Traces are the big entries (tens of
+#: thousands of records at paper scale), so their cap is small; built
+#: ``SystemConfig`` objects are tiny.
+TRACE_MEMO_ENTRIES = 32
+CONFIG_MEMO_ENTRIES = 256
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed inside a worker (or the serial path).
+
+    The message embeds the failing job's :meth:`~SimJob.describe` output
+    and the worker-side traceback, so a poisoned point of a large sweep is
+    identifiable without re-running anything.
+    """
+
+    def __init__(self, message: str, job=None):
+        super().__init__(message)
+        self.job = job
+
+
+class _Memo:
+    """Bounded FIFO memo for built traces and system configurations."""
+
+    __slots__ = ("traces", "configs")
+
+    def __init__(self):
+        self.traces: OrderedDict = OrderedDict()
+        self.configs: OrderedDict = OrderedDict()
+
+    @staticmethod
+    def _get(store: OrderedDict, key, build, cap: int):
+        try:
+            return store[key]
+        except (KeyError, TypeError):
+            # TypeError: unhashable signature from a duck-typed job —
+            # fall back to building without memoization.
+            value = build()
+            try:
+                store[key] = value
+            except TypeError:
+                return value
+            while len(store) > cap:
+                store.popitem(last=False)
+            return value
+
+    def materialize(self, job):
+        """The (config, traces) pair for ``job``, memoized by signature."""
+        config = self._get(self.configs, job.config_signature(),
+                           job.build_config, CONFIG_MEMO_ENTRIES)
+        traces = self._get(self.traces, job.trace_signature(),
+                           job.build_traces, TRACE_MEMO_ENTRIES)
+        return config, traces
+
+
+#: The process-local memo.  In the parent process it serves the serial
+#: path; in workers it is (re-)installed by :func:`_init_worker`.
+_MEMO = _Memo()
+
+
+def _init_worker() -> None:
+    """Worker initializer: install a fresh process-local memo.
+
+    With the default ``fork`` start method the worker inherits the
+    parent's memo contents at pool-creation time (a free warm start); a
+    ``spawn`` context starts empty.  Either way the memo is per-process
+    afterwards, so workers never contend on shared state.
+    """
+    global _MEMO
+    if _MEMO is None:  # pragma: no cover - spawn-context safety net
+        _MEMO = _Memo()
+
+
+def _run_job(job) -> tuple[SimulationResult, float]:
+    """Run one job with memoized inputs; returns (result, sim CPU secs).
+
+    Identical to ``job.run()`` bit for bit — the memo only changes *when*
+    traces and configs are built, never their contents.  The returned CPU
+    time covers exactly the simulation (``run_workload``), excluding trace
+    generation and config construction, so the executor can report true
+    engine overhead (wall minus simulation CPU).
+    """
+    config, traces = _MEMO.materialize(job)
+    cpu_start = time.process_time()
+    result = run_workload(config, traces, job.workload_name)
+    return result, time.process_time() - cpu_start
+
+
+def _run_chunk(chunk: Sequence[tuple[int, SimJob]]):
+    """Worker entry point: run a chunk of (index, job) pairs.
+
+    Returns ``(worker_pid, done, failure)`` where ``done`` is a list of
+    ``(index, result, sim_cpu_s)`` for every job that finished and
+    ``failure`` is ``None`` or ``(index, exception_repr, traceback_text)``
+    for the first job that raised.  Exceptions are shipped as text —
+    never pickled — so arbitrary worker failures survive the IPC
+    boundary; the parent re-raises with the job's full description.
+    """
+    done = []
+    for index, job in chunk:
+        try:
+            result, sim_cpu = _run_job(job)
+        except BaseException as exc:
+            return os.getpid(), done, (index, repr(exc),
+                                       traceback.format_exc())
+        done.append((index, result, sim_cpu))
+    return os.getpid(), done, None
+
 
 def _execute_job(job: SimJob) -> SimulationResult:
-    """Worker entry point (module-level so it pickles)."""
+    """Single-job worker entry point (kept for API compatibility)."""
     return job.run()
 
 
@@ -40,8 +179,21 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def _chunked(items: list, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous, even pieces."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
 class JobExecutor:
-    """Runs simulation-job batches through a cache and a worker pool."""
+    """Runs simulation-job batches through a cache and a warm worker pool."""
 
     def __init__(self, cache: ResultCache | None = None,
                  jobs: int | None = None):
@@ -51,15 +203,64 @@ class JobExecutor:
         self.simulations_executed = 0
         #: Jobs answered straight from the cache over the lifetime.
         self.cache_hits = 0
+        #: CPU seconds spent inside ``run_workload`` (summed over workers)
+        #: for every simulation this executor ran.  ``wall - sim_cpu_s``
+        #: is the engine's own overhead: trace generation, config builds,
+        #: pickling, scheduling, and cache writes.
+        self.sim_cpu_s = 0.0
+        #: Worker PIDs that produced results in the most recent parallel
+        #: batch (the parent PID for serial batches).  Lets tests — and
+        #: the bench — verify the pool stays warm across batches.
+        self.last_worker_pids: frozenset[int] = frozenset()
+        self._pool: ProcessPoolExecutor | None = None
 
+    # ------------------------------------------------------------------
+    # Warm-pool lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def pool_active(self) -> bool:
+        """Whether a warm worker pool is currently alive."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                             initializer=_init_worker)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the warm worker pool down (idempotent).
+
+        The executor stays usable: the next parallel batch lazily spins a
+        fresh pool up again.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution.
+    # ------------------------------------------------------------------
     def run(self, jobs: Iterable[SimJob]) -> dict[SimJob, SimulationResult]:
         """Run a batch of jobs; returns one result per *distinct* job.
 
         Duplicate jobs (equal specs) are deduplicated before execution, and
         jobs whose content-addressed key is already cached are not run at
-        all.  Results are collected in submission order, so the returned
-        mapping — and everything derived from it — is independent of worker
-        scheduling.
+        all.  Results land in the cache in completion order (so partial
+        sweeps are resumable) but are returned in submission order, so the
+        mapping — and everything derived from it — is independent of
+        worker scheduling.
         """
         ordered: list[tuple[SimJob, str]] = []
         seen: set[SimJob] = set()
@@ -78,27 +279,105 @@ class JobExecutor:
             else:
                 pending.append((job, key))
 
-        for job, key, result in self._execute(pending):
-            self.simulations_executed += 1
-            self.cache.put(key, result)
-            results[job] = result
-        return results
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_parallel(pending, results)
+            else:
+                self._run_serial(pending, results)
+        # Submission order, independent of completion order.
+        return {job: results[job] for job, _ in ordered}
 
     def run_one(self, job: SimJob) -> SimulationResult:
         """Run a single job through the cache (always serial)."""
         return self.run([job])[job]
 
-    def _execute(self, pending: Sequence[tuple[SimJob, str]]):
-        """Yield ``(job, key, result)`` for every pending job, in order."""
-        if not pending:
-            return
-        if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [(job, key, pool.submit(_execute_job, job))
-                           for job, key in pending]
-                for job, key, future in futures:
-                    yield job, key, future.result()
-        else:
-            for job, key in pending:
-                yield job, key, job.run()
+    # ------------------------------------------------------------------
+    # Execution strategies.
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: Sequence[tuple[SimJob, str]],
+                    results: dict) -> None:
+        self.last_worker_pids = frozenset((os.getpid(),))
+        for job, key in pending:
+            try:
+                result, sim_cpu = _run_job(job)
+            except Exception as exc:
+                raise JobExecutionError(
+                    f"job failed: {_describe(job)}\n"
+                    f"cause: {exc!r}", job=job) from exc
+            self.simulations_executed += 1
+            self.sim_cpu_s += sim_cpu
+            self.cache.put(key, result)
+            results[job] = result
+
+    def _run_parallel(self, pending: Sequence[tuple[SimJob, str]],
+                      results: dict) -> None:
+        # Group same-trace jobs into the same chunk so each worker builds
+        # (or memo-hits) as few distinct traces as possible, then split
+        # into ~CHUNKS_PER_WORKER x workers chunks.  The grouping is a
+        # deterministic reorder of *execution*; returned results are
+        # reassembled by index, so output order never changes.
+        indexed = list(enumerate(pending))
+        indexed.sort(key=lambda item: (_sort_token(item[1][0]), item[0]))
+        tasks = [(index, job) for index, (job, _) in indexed]
+        chunks = _chunked(tasks, CHUNKS_PER_WORKER * self.jobs)
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        pids = set()
+        failure = None
+        failed_job = None
+        try:
+            # Completion-order draining: every finished chunk's results
+            # are cached immediately — even when another chunk failed —
+            # so a crash or poison job loses only in-flight work.
+            for future in as_completed(futures):
+                if future.cancelled():
+                    continue
+                pid, done, chunk_failure = future.result()
+                pids.add(pid)
+                stored = []
+                for index, result, sim_cpu in done:
+                    job, key = pending[index]
+                    self.simulations_executed += 1
+                    self.sim_cpu_s += sim_cpu
+                    stored.append((key, result))
+                    results[job] = result
+                self.cache.put_many(stored)
+                if chunk_failure is not None and failure is None:
+                    failure = chunk_failure
+                    failed_job = pending[chunk_failure[0]][0]
+                    # Don't start work that can no longer matter; chunks
+                    # already running finish and are drained normally.
+                    for other in futures:
+                        other.cancel()
+        except BrokenProcessPool:
+            # A worker died (OOM-kill, crash, os._exit).  Everything
+            # drained so far is already in the cache — that is the
+            # resumability guarantee — but the pool is unusable: discard
+            # it so the next run() starts a fresh one.
+            self._discard_pool()
+            raise
+        finally:
+            self.last_worker_pids = frozenset(pids)
+
+        if failure is not None:
+            index, exc_repr, tb_text = failure
+            raise JobExecutionError(
+                f"job failed in worker: {_describe(failed_job)}\n"
+                f"cause: {exc_repr}\n{tb_text}", job=failed_job)
+
+
+def _describe(job) -> str:
+    """Best-effort one-line description of a job for error messages."""
+    try:
+        return repr(job.describe())
+    except Exception:  # pragma: no cover - describe() itself failing
+        return repr(job)
+
+
+def _sort_token(job) -> str:
+    """Deterministic grouping token: jobs sharing traces sort together."""
+    try:
+        return repr(job.trace_signature())
+    except Exception:
+        return repr(job)

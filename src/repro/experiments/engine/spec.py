@@ -181,6 +181,31 @@ class SimJob:
         return self.workload.make_traces(self.records_per_core)
 
     # ------------------------------------------------------------------
+    # Memoization identities (worker-local caches in the executor).
+    # ------------------------------------------------------------------
+    def trace_signature(self) -> tuple:
+        """Hashable identity of :meth:`build_traces`' output.
+
+        Two jobs with equal signatures generate byte-identical traces (the
+        generators are seeded), so a warm worker process can build the
+        traces once and reuse them across every configuration evaluated on
+        the same workload.  Simulations never mutate their input traces
+        (each :class:`~repro.cpu.core.TraceCore` flattens its own copy),
+        which is what makes sharing safe.
+        """
+        if self.kind == "single-core":
+            return ("single-core", self.benchmark, self.records_per_core)
+        return ("multicore", self.workload, self.records_per_core)
+
+    def config_signature(self) -> tuple:
+        """Hashable identity of :meth:`build_config`'s output.
+
+        ``SystemConfig`` is frozen, so equal signatures may share one
+        built instance.
+        """
+        return (self.configuration, self.channels, self.config_overrides)
+
+    # ------------------------------------------------------------------
     # Content-addressed identity.
     # ------------------------------------------------------------------
     def describe(self) -> dict:

@@ -1,17 +1,21 @@
 """Tests for the declarative experiment engine: job specs, content-addressed
-keys, result serialization, the persistent cache, the parallel executor, and
-the ``python -m repro`` CLI."""
+keys, result serialization, the sharded persistent cache, the warm-pool
+parallel executor, and the ``python -m repro`` CLI."""
 
+import dataclasses
 import json
 import math
+import os
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro.cli import main
 from repro.experiments import engine
-from repro.experiments.engine import (JobExecutor, ResultCache, SimJob,
-                                      cache_salt)
+from repro.experiments.engine import (JobExecutionError, JobExecutor,
+                                      ResultCache, SimJob, cache_salt)
+from repro.experiments.engine.executor import _chunked
 from repro.experiments.engine.spec import ExperimentScale
 from repro.experiments.figures import figure9_cache_hit_rate
 from repro.experiments.runner import geometric_mean
@@ -19,6 +23,47 @@ from repro.sim.metrics import SimulationResult
 from repro.workloads.multiprogram import make_multiprogrammed_workload
 
 TINY = ExperimentScale.tiny()
+
+
+@dataclasses.dataclass(frozen=True)
+class PoisonJob:
+    """A picklable job whose materialization fails (or kills its worker).
+
+    Implements the small protocol the executor needs — ``key()``,
+    ``trace_signature()``, ``config_signature()``, ``workload_name``,
+    ``build_config()``, ``build_traces()``, ``describe()`` — without being
+    a real :class:`SimJob`.  The ``zzz`` signature prefix sorts it after
+    every real job, so real chunks run (and cache) first.
+    """
+
+    name: str = "poison"
+    #: ``None`` raises in the worker; an int calls ``os._exit`` (killing
+    #: the worker process and breaking the pool).
+    exit_code: int | None = None
+
+    def key(self):
+        return f"poison:{self.name}:{self.exit_code}"
+
+    def trace_signature(self):
+        return ("zzz-poison", self.name)
+
+    def config_signature(self):
+        return ("zzz-poison", self.name)
+
+    @property
+    def workload_name(self):
+        return self.name
+
+    def build_config(self):
+        if self.exit_code is not None:
+            os._exit(self.exit_code)
+        raise RuntimeError("this job is poisoned")
+
+    def build_traces(self):
+        return []
+
+    def describe(self):
+        return {"kind": "poison", "name": self.name}
 
 
 @pytest.fixture(autouse=True)
@@ -131,7 +176,7 @@ class TestResultCache:
         job = SimJob.single_core("Base", "gcc", TINY)
         cache = ResultCache(tmp_path)
         cache.put(job.key(), job.run())
-        path = tmp_path / f"{job.key()}.json"
+        path = cache._path(job.key())
         payload = json.loads(path.read_text())
         assert payload["salt"] == cache_salt()
         payload["salt"] = "0:0.0.0"
@@ -142,7 +187,7 @@ class TestResultCache:
         job = SimJob.single_core("Base", "gcc", TINY)
         cache = ResultCache(tmp_path)
         cache.put(job.key(), job.run())
-        (tmp_path / f"{job.key()}.json").write_text("{not json")
+        cache._path(job.key()).write_text("{not json")
         assert ResultCache(tmp_path).get(job.key()) is None
 
     def test_clear_removes_disk_entries(self, tmp_path):
@@ -153,6 +198,117 @@ class TestResultCache:
         cache.clear()
         assert cache.stats().disk_entries == 0
         assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*/*.json"))
+
+    def test_layout_is_sharded_by_key_prefix(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        cache = ResultCache(tmp_path)
+        cache.put(key, job.run())
+        path = tmp_path / key[:2] / f"{key}.json"
+        assert path.is_file()
+        # Nothing lands flat in the cache root any more.
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_legacy_flat_entries_remain_readable(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        result = job.run()
+        cache = ResultCache(tmp_path)
+        cache.put(key, result)
+        # Rewrite the entry in the pre-sharding flat layout.
+        sharded = cache._path(key)
+        flat = tmp_path / f"{key}.json"
+        flat.write_bytes(sharded.read_bytes())
+        sharded.unlink()
+        sharded.parent.rmdir()
+        assert ResultCache(tmp_path).get(key) == result
+
+    def test_put_migrates_legacy_entry_into_shard(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        result = job.run()
+        cache = ResultCache(tmp_path)
+        cache.put(key, result)
+        flat = tmp_path / f"{key}.json"
+        flat.write_bytes(cache._path(key).read_bytes())
+        cache._path(key).unlink()
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.stats().disk_legacy == 1
+        fresh.put(key, result)
+        assert not flat.exists()
+        assert fresh._path(key).is_file()
+        assert fresh.stats().disk_legacy == 0
+        assert ResultCache(tmp_path).get(key) == result
+
+    def test_clear_removes_legacy_flat_entries(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        cache = ResultCache(tmp_path)
+        cache.put(key, job.run())
+        flat = tmp_path / f"{key}.json"
+        flat.write_bytes(cache._path(key).read_bytes())
+        removed = ResultCache(tmp_path).clear()
+        assert removed == 1  # one distinct key, present in both layouts
+        assert not flat.exists()
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_compressed_entries_round_trip(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        result = job.run()
+        cache = ResultCache(tmp_path, compress=True)
+        cache.put(key, result)
+        path = tmp_path / key[:2] / f"{key}.json.gz"
+        assert path.is_file()
+        stats = cache.stats()
+        assert stats.disk_compressed == 1
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get(key) == result
+
+    def test_auto_compression_kicks_in_above_threshold(self, tmp_path,
+                                                       monkeypatch):
+        from repro.experiments.engine import cache as cache_module
+        monkeypatch.setattr(cache_module, "COMPRESS_MIN_BYTES", 16)
+        job = SimJob.single_core("Base", "gcc", TINY)
+        key = job.key()
+        result = job.run()
+        cache = ResultCache(tmp_path)  # compress="auto"
+        cache.put(key, result)
+        assert (tmp_path / key[:2] / f"{key}.json.gz").is_file()
+        assert ResultCache(tmp_path).get(key) == result
+
+    def test_put_many_stores_every_pair(self, tmp_path):
+        a = SimJob.single_core("Base", "gcc", TINY)
+        b = SimJob.single_core("FIGCache-Fast", "gcc", TINY)
+        results = {job: job.run() for job in (a, b)}
+        cache = ResultCache(tmp_path)
+        cache.put_many((job.key(), result)
+                       for job, result in results.items())
+        stats = cache.stats()
+        assert stats.stores == 2
+        assert stats.disk_entries == 2
+        for job, result in results.items():
+            assert ResultCache(tmp_path).get(job.key()) == result
+
+    def test_stats_serve_from_index_not_filesystem(self, tmp_path):
+        job = SimJob.single_core("Base", "gcc", TINY)
+        cache = ResultCache(tmp_path)
+        cache.put(job.key(), job.run())
+        reader = ResultCache(tmp_path)
+        assert reader.stats().disk_entries == 1
+        # An out-of-band write is invisible until the index is refreshed —
+        # stats() and get() misses are pure memory operations.
+        (tmp_path / "ab").mkdir(exist_ok=True)
+        (tmp_path / "ab" / ("ab" + "0" * 62 + ".json")).write_text("{}")
+        assert reader.stats().disk_entries == 1
+        reader.refresh_index()
+        assert reader.stats().disk_entries == 2
+
+    def test_rejects_bad_compress_value(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, compress="sometimes")
 
 
 class TestJobExecutor:
@@ -197,6 +353,109 @@ class TestJobExecutor:
     def test_jobs_env_variable_sets_worker_count(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert JobExecutor().jobs == 3
+
+
+def _tiny_jobs(*benchmarks):
+    return [SimJob.single_core("Base", name, TINY) for name in benchmarks]
+
+
+class TestWarmPool:
+    def test_pool_persists_across_batches(self):
+        with JobExecutor(jobs=2) as executor:
+            assert not executor.pool_active
+            executor.run(_tiny_jobs("gcc", "mcf"))
+            assert executor.pool_active
+            first = executor.last_worker_pids
+            executor.run(_tiny_jobs("lbm", "zeusmp"))
+            second = executor.last_worker_pids
+        assert first and second
+        # Both batches were served by the same two-process pool; a pool
+        # recreated per batch would have produced four distinct PIDs.
+        assert len(first | second) <= 2
+        assert os.getpid() not in (first | second)
+
+    def test_close_is_idempotent_and_pool_respawns(self):
+        executor = JobExecutor(jobs=2)
+        executor.run(_tiny_jobs("gcc", "mcf"))
+        executor.close()
+        assert not executor.pool_active
+        executor.close()  # idempotent
+        executor.run(_tiny_jobs("lbm", "zeusmp"))
+        assert executor.pool_active
+        assert executor.simulations_executed == 4
+        executor.close()
+
+    def test_serial_batches_never_spawn_a_pool(self):
+        executor = JobExecutor(jobs=1)
+        executor.run(_tiny_jobs("gcc", "mcf"))
+        assert not executor.pool_active
+        assert executor.last_worker_pids == frozenset((os.getpid(),))
+
+
+class TestChunking:
+    def test_even_contiguous_split(self):
+        assert _chunked([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+        assert _chunked([1, 2, 3], 8) == [[1], [2], [3]]
+        assert _chunked([1, 2, 3, 4], 1) == [[1, 2, 3, 4]]
+
+    def test_split_preserves_order_and_items(self):
+        items = list(range(23))
+        chunks = _chunked(items, 7)
+        assert len(chunks) == 7
+        assert [x for chunk in chunks for x in chunk] == items
+
+
+class TestWorkerFailures:
+    def test_serial_failure_names_the_job(self):
+        executor = JobExecutor(jobs=1)
+        with pytest.raises(JobExecutionError) as excinfo:
+            executor.run([PoisonJob()])
+        assert "'kind': 'poison'" in str(excinfo.value)
+        assert excinfo.value.job == PoisonJob()
+
+    def test_parallel_failure_names_the_job_and_keeps_finished_work(
+            self, tmp_path):
+        jobs = _tiny_jobs("gcc", "mcf", "lbm")
+        with JobExecutor(cache=ResultCache(tmp_path), jobs=2) as executor:
+            with pytest.raises(JobExecutionError) as excinfo:
+                executor.run([*jobs, PoisonJob()])
+        message = str(excinfo.value)
+        assert "'kind': 'poison'" in message
+        assert "this job is poisoned" in message  # worker traceback shipped
+        # The poison job sorts into the last chunk, so every real job's
+        # chunk was dispatched first and its results reached the cache
+        # before the failure was raised.
+        survivors = ResultCache(tmp_path)
+        assert all(survivors.get(job.key()) is not None for job in jobs)
+
+    def test_dead_worker_breaks_pool_but_sweep_is_resumable(self, tmp_path):
+        jobs = _tiny_jobs("gcc", "mcf", "lbm", "zeusmp", "libquantum",
+                          "bwaves")
+        executor = JobExecutor(cache=ResultCache(tmp_path), jobs=2)
+        with pytest.raises(BrokenProcessPool):
+            executor.run([*jobs, PoisonJob(exit_code=1)])
+        assert not executor.pool_active  # broken pool was discarded
+
+        # Completion-order caching: everything drained before the worker
+        # died is on disk.  Only the chunk in flight on the surviving
+        # worker can be lost.
+        cached = sum(ResultCache(tmp_path).get(job.key()) is not None
+                     for job in jobs)
+        assert cached >= len(jobs) - 2
+
+        # Re-running the sweep simulates only what never finished ...
+        resume = JobExecutor(cache=ResultCache(tmp_path), jobs=2)
+        results = resume.run(jobs)
+        assert len(results) == len(jobs)
+        assert resume.simulations_executed == len(jobs) - cached
+        resume.close()
+
+        # ... and the original executor recovers: the next parallel batch
+        # (two jobs no run has cached yet) lazily spawns a fresh pool.
+        again = executor.run(_tiny_jobs("leslie3d", "GemsFDTD"))
+        assert len(again) == 2
+        assert executor.pool_active
+        executor.close()
 
 
 class TestGeometricMean:
