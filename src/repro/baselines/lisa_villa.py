@@ -226,6 +226,14 @@ class LISAVillaMechanism(CachingMechanism):
                                               source_row=source_row,
                                               dirty=dirty, benefit=1)
         state.slot_to_row[slot] = source_row
+        if self.tracer is not None:
+            self.tracer.mechanism_event(
+                outcome.completion_cycle, channel.channel_id, flat_bank,
+                "villa-insert",
+                {"source_row": source_row, "slot": slot, "dirty": dirty,
+                 "hops": transfer // self._hop_cycles
+                         if self._hop_cycles else 0,
+                 "relocation_cycles": relocation_cycles})
         return relocation_cycles
 
     def _evict_row(self, channel: Channel, now: int, flat_bank: int,
@@ -260,6 +268,12 @@ class LISAVillaMechanism(CachingMechanism):
             current = outcome.completion_cycle
             self.stats.relocation_operations += 1
             self.stats.dirty_writebacks += 1
+        if self.tracer is not None:
+            self.tracer.mechanism_event(
+                current, channel.channel_id, flat_bank, "villa-evict",
+                {"source_row": victim_row.source_row, "slot": slot,
+                 "dirty": victim_row.dirty,
+                 "writeback_cycles": writeback_cycles})
         return slot, writeback_cycles, current
 
     def _bank_state(self, flat_bank: int) -> _BankState:

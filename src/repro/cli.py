@@ -18,6 +18,11 @@
   result cache.
 * ``bench``         — time the simulator itself on the figure-7 workload
   set and emit ``benchmarks/perf/BENCH_<rev>.json``.
+* ``trace WORKLOAD`` — record an event-level simulation trace (DRAM
+  commands, request lifecycles, mechanism events) and export it as
+  Chrome trace-event JSON, viewable at https://ui.perfetto.dev.
+* ``metrics``       — a unified health-metrics snapshot (cache + host)
+  as JSON or Prometheus text exposition.
 * ``list``          — show every runnable experiment and device profile.
 
 ``--jobs N`` fans independent simulations across N worker processes;
@@ -77,6 +82,26 @@ def _configure_engine(args) -> "engine.JobExecutor":
     return engine.configure(jobs=args.jobs, cache_dir=cache_dir)
 
 
+def _add_progress_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--progress", action="store_true",
+                        help="live engine progress line on stderr")
+    parser.add_argument("--progress-file", default=None, metavar="FILE",
+                        help="write engine progress events to FILE as "
+                             "JSON lines (see docs/observability.md)")
+
+
+def _progress_sink(args) -> "engine.ProgressSink | None":
+    """Build the progress sink the CLI flags ask for (or ``None``)."""
+    sinks = []
+    if getattr(args, "progress", False):
+        sinks.append(engine.StderrLineSink())
+    if getattr(args, "progress_file", None):
+        sinks.append(engine.JsonlFileSink(args.progress_file))
+    if not sinks:
+        return None
+    return sinks[0] if len(sinks) == 1 else engine.TeeSink(*sinks)
+
+
 def _report(data: dict, executor, elapsed_s: float) -> None:
     title = data.get("figure") or data.get("table") or data.get("section")
     print(format_table(f"{title}: {data.get('metric', '')}",
@@ -88,12 +113,19 @@ def _report(data: dict, executor, elapsed_s: float) -> None:
 
 def _cmd_run_figure(args) -> int:
     executor = _configure_engine(args)
+    sink = _progress_sink(args)
+    executor.progress = sink
     if args.figure in NAMED_FIGURES:
         runner = NAMED_FIGURES[args.figure]
     else:
         runner = FIGURES[int(args.figure)]
     start = time.perf_counter()
-    data = runner(SCALES[args.scale]())
+    try:
+        data = runner(SCALES[args.scale]())
+    finally:
+        if sink is not None:
+            sink.close()
+            executor.progress = None
     _report(data, executor, time.perf_counter() - start)
     return 0
 
@@ -117,6 +149,8 @@ def _cmd_sweep(args) -> int:
         raise ValueError("sweep needs at least one segment size and one "
                          "cache capacity")
     executor = _configure_engine(args)
+    sink = _progress_sink(args)
+    executor.progress = sink
     scale = SCALES[args.scale]()
     suite = multicore_suite(scale)
     start = time.perf_counter()
@@ -130,7 +164,12 @@ def _cmd_sweep(args) -> int:
             jobs[((blocks, rows), workload.name)] = SimJob.multicore(
                 "FIGCache-Fast", workload, scale, segment_blocks=blocks,
                 cache_rows_per_bank=rows)
-    results = executor.run(jobs.values())
+    try:
+        results = executor.run(jobs.values())
+    finally:
+        if sink is not None:
+            sink.close()
+            executor.progress = None
 
     table_rows = []
     for blocks, rows in points:
@@ -150,6 +189,12 @@ def _cmd_sweep(args) -> int:
         "rows": table_rows,
     }
     _report(data, executor, time.perf_counter() - start)
+    if args.metrics_out:
+        from repro.sim.metrics_export import metrics_snapshot, write_metrics
+
+        path = write_metrics(args.metrics_out,
+                             metrics_snapshot(executor=executor))
+        print(f"metrics written to {path}")
     return 0
 
 
@@ -232,6 +277,78 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import dataclasses
+
+    from repro.experiments.engine import SimJob
+    from repro.sim.backend import resolve_backend
+    from repro.sim.system import System
+    from repro.sim.tracing import EventTracer, write_chrome_trace
+    from repro.workloads.catalog import get_benchmark
+
+    try:
+        get_benchmark(args.workload)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    scale = SCALES[args.scale]()
+    job = SimJob.single_core(args.configuration, args.workload, scale)
+    config = job.build_config()
+    if args.backend:
+        config = dataclasses.replace(config, backend=args.backend)
+    backend_name = resolve_backend(config.backend).name
+    traces = job.build_traces()
+    tracer = EventTracer() if args.max_events is None \
+        else EventTracer(max_events=args.max_events)
+    system = System(config, traces, tracer=tracer)
+    start = time.perf_counter()
+    result = system.run(args.workload)
+    elapsed_s = time.perf_counter() - start
+    path = write_chrome_trace(
+        args.out, tracer, config.dram,
+        metadata={"workload": args.workload,
+                  "configuration": args.configuration,
+                  "scale": args.scale, "backend": backend_name})
+    kinds: dict[str, int] = {}
+    for record in tracer.events:
+        kinds[record[0]] = kinds.get(record[0], 0) + 1
+    breakdown = ", ".join(f"{kinds.get(kind, 0)} {label}"
+                          for kind, label in (("cmd", "commands"),
+                                              ("req", "requests"),
+                                              ("ref", "refreshes"),
+                                              ("mech", "mechanism")))
+    print(f"traced {args.workload} on {args.configuration} "
+          f"({backend_name} backend): {result.total_cycles} cycles, "
+          f"{elapsed_s:.1f}s")
+    print(f"{tracer.total_events} events recorded "
+          f"({breakdown}; {tracer.dropped_events} dropped by the "
+          f"{tracer.max_events}-event ring buffer)")
+    print(f"trace written to {path} — open at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    from repro.sim.metrics_export import metrics_snapshot, to_prometheus_text
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = str(default_cache_dir())
+    cache = engine.ResultCache(None if cache_dir == "none" else cache_dir)
+    snapshot = metrics_snapshot(cache=cache)
+    if args.format == "prometheus":
+        text = to_prometheus_text(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"metrics written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache_dir = args.cache_dir
     if cache_dir is None:
@@ -241,10 +358,17 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cached result(s) from {cache.directory}")
     else:
-        stats = cache.stats()
+        # Same numbers the ``metrics`` endpoint exports: both route
+        # through the metrics snapshot, so human and scraped views agree.
+        from repro.sim.metrics_export import metrics_snapshot
+
+        section = metrics_snapshot(cache=cache)["cache"]
         print(f"cache directory : {cache.directory}")
-        print(f"disk entries    : {stats.disk_entries}")
-        print(f"disk bytes      : {stats.disk_bytes}")
+        print(f"disk entries    : {section['disk_entries']}")
+        print(f"disk bytes      : {section['disk_bytes']}")
+        print(f"shards          : {section['shards']}")
+        print(f"gzip entries    : {section['disk_compressed']}")
+        print(f"legacy entries  : {section['disk_legacy']}")
         print(f"salt            : {engine.cache_salt()}")
     return 0
 
@@ -325,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "or a named study (e.g. dram-types)")
     figure.add_argument("figure", choices=FIGURE_CHOICES)
     _add_engine_arguments(figure)
+    _add_progress_arguments(figure)
     figure.set_defaults(func=_cmd_run_figure)
 
     static = sub.add_parser("run-static",
@@ -342,7 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-rows", type=_int_list,
                        default=[32, 64, 128], metavar="R1,R2,...",
                        help="cache rows per bank (default 32,64,128)")
+    sweep.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write a unified metrics snapshot after the "
+                            "sweep (.prom: Prometheus text, else JSON)")
     _add_engine_arguments(sweep)
+    _add_progress_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser("bench",
@@ -414,6 +543,41 @@ def build_parser() -> argparse.ArgumentParser:
                            help="trace length for the smoke run "
                                 "(default: tiny)")
     standards.set_defaults(func=_cmd_standards)
+
+    trace = sub.add_parser("trace",
+                           help="record an event-level simulation trace "
+                                "as Chrome trace-event JSON (Perfetto)")
+    trace.add_argument("workload", help="benchmark name (see 'list')")
+    trace.add_argument("--configuration", "--config", dest="configuration",
+                       default="FIGCache-Fast", metavar="NAME",
+                       help="configuration to simulate "
+                            "(default: FIGCache-Fast; any registered "
+                            f"name: {', '.join(configuration_names())})")
+    trace.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                       help="trace length (default: smoke)")
+    trace.add_argument("--backend", default=None, metavar="NAME",
+                       help="simulation backend (python, turbo); default: "
+                            "REPRO_SIM_BACKEND or python")
+    trace.add_argument("--max-events", type=int, default=None,
+                       metavar="N",
+                       help="ring-buffer capacity; older events are "
+                            "dropped past this (default 1000000)")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="output path (default trace.json)")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser("metrics",
+                             help="unified health-metrics snapshot "
+                                  "(JSON or Prometheus text)")
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json",
+                         help="output format (default: json)")
+    metrics.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache to report on (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    metrics.add_argument("--out", default=None, metavar="FILE",
+                         help="write to FILE instead of stdout")
+    metrics.set_defaults(func=_cmd_metrics)
 
     cache = sub.add_parser("cache", help="persistent result cache tools")
     cache.add_argument("cache_command", choices=("stats", "clear"))

@@ -58,7 +58,7 @@ class ChannelController:
                  '_read_queue_depth', '_write_queue_depth', '_drain_high',
                  '_drain_low', '_row_of', '_direct_access',
                  'completed_reads', 'completed_writes',
-                 'read_latencies', 'write_latencies')
+                 'read_latencies', 'write_latencies', 'tracer')
 
     def __init__(self, channel: Channel, mechanism: CachingMechanism,
                  scheduler_config: SchedulerConfig | None = None):
@@ -101,6 +101,10 @@ class ChannelController:
         self.completed_writes = 0
         self.read_latencies: dict[int, int] = {}
         self.write_latencies: dict[int, int] = {}
+        #: Optional event tracer (see :mod:`repro.sim.tracing`).  ``None``
+        #: when tracing is off; the service paths pay one ``is not None``
+        #: check per serviced request.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -338,6 +342,7 @@ class ChannelController:
         direct_access = self._direct_access
         read_latencies = self.read_latencies
         write_latencies = self.write_latencies
+        tracer = self.tracer
         # Every mechanism reports the bank's post-service readiness in
         # ``ServiceResult.bank_busy_until``, so only the first iteration
         # reads the bank's ``ready_for_next``.
@@ -410,6 +415,8 @@ class ChannelController:
             else:
                 self.completed_reads += 1
                 read_latencies[latency] = read_latencies.get(latency, 0) + 1
+            if tracer is not None:
+                tracer.request_serviced(request)
             completed.append(request)
         return completed
 
@@ -455,6 +462,8 @@ class ChannelController:
             self.completed_reads += 1
             self.read_latencies[latency] = \
                 self.read_latencies.get(latency, 0) + 1
+        if self.tracer is not None:
+            self.tracer.request_serviced(request)
         return ready_at
 
     def _dequeue(self, request: MemoryRequest) -> None:

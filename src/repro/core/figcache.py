@@ -292,6 +292,12 @@ class FIGCache(CachingMechanism):
         bank_cache.insertion.notify_inserted(source_row, segment)
         self.stats.insertions += 1
         self.stats.relocation_cycles += relocation_cycles
+        if self.tracer is not None:
+            self.tracer.mechanism_event(
+                current, channel.channel_id, flat_bank, "fig-insert",
+                {"source_row": source_row, "segment": segment,
+                 "slot": slot, "dirty": dirty,
+                 "relocation_cycles": relocation_cycles})
         return relocation_cycles
 
     def _evict_for_space(self, channel: Channel, now: int, flat_bank: int,
@@ -327,6 +333,13 @@ class FIGCache(CachingMechanism):
             self.stats.dirty_writebacks += 1
         elif victim.dirty:
             self.stats.dirty_writebacks += 1
+        if self.tracer is not None:
+            self.tracer.mechanism_event(
+                current, channel.channel_id, flat_bank, "fig-evict",
+                {"source_row": victim.source_row,
+                 "segment": victim.source_segment, "slot": victim_slot,
+                 "dirty": victim.dirty,
+                 "writeback_cycles": writeback_cycles})
         return victim_slot, writeback_cycles, current
 
     # ------------------------------------------------------------------

@@ -111,6 +111,10 @@ class CachingMechanism(abc.ABC):
 
     def __init__(self) -> None:
         self.stats = MechanismStats()
+        #: Optional event tracer (see :mod:`repro.sim.tracing`).  ``None``
+        #: when tracing is off; mechanisms check it only on their cold
+        #: insert/evict paths, never per demand access.
+        self.tracer = None
 
     @abc.abstractmethod
     def effective_row(self, channel: Channel, decoded: DecodedAddress,

@@ -16,7 +16,8 @@ from repro.dram.rank import Rank
 class Channel:
     """Timing state for one memory channel."""
 
-    __slots__ = ('_config', '_id', 'counters', '_ranks', '_banks', '_rank_of', '_bus_free_at')
+    __slots__ = ('_config', '_id', 'counters', '_ranks', '_banks', '_rank_of',
+                 '_bus_free_at', 'tracer')
 
     def __init__(self, config: DRAMConfig, channel_id: int,
                  refresh_enabled: bool = True,
@@ -42,6 +43,9 @@ class Channel:
                     self._rank_of.append(rank)
         #: Earliest cycle the shared data bus is free.
         self._bus_free_at = 0
+        #: Optional event tracer (see :mod:`repro.sim.tracing`); checked
+        #: only on the cold refresh path.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Topology accessors.
@@ -154,11 +158,15 @@ class Channel:
             # list directly instead of slicing out the whole rank.
             banks = self._banks
             local_bank = flat_bank - first_bank
+            tracer = self.tracer
             for _ in range(pending):
                 due = rank.next_refresh_due
                 completion = rank.perform_refresh(due)
                 self.counters.refreshes += 1
                 target = rank.last_refreshed_bank
+                if tracer is not None:
+                    tracer.refresh(due, completion, self._id,
+                                   first_bank + target, "per-bank")
                 # Close the target's row unconditionally (the refresh
                 # happened, even if its window already passed); the
                 # force only costs time when ``completion`` is still in
@@ -169,9 +177,13 @@ class Channel:
                     start = completion
             return start
         rank_banks = self._banks[first_bank:first_bank + banks_per_rank]
+        tracer = self.tracer
         for _ in range(pending):
             completion = rank.perform_refresh(start)
             self.counters.refreshes += 1
+            if tracer is not None:
+                tracer.refresh(start, completion, self._id, first_bank,
+                               "all-bank")
             for bank in rank_banks:
                 bank.force_precharge_for_refresh(completion)
             start = completion

@@ -131,6 +131,69 @@ def peak_rss_bytes() -> int:
     return ru_maxrss * 1024 if sys.platform != "darwin" else ru_maxrss
 
 
+def host_metadata() -> dict:
+    """Uniform host identity recorded by every bench report.
+
+    One place so the simulator bench and the sweep bench (and anything
+    added later) can never drift on which fields they record.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def measure_tracing_overhead(scale: ExperimentScale | None = None,
+                             backend: str | None = None,
+                             repeats: int = 3) -> dict:
+    """Paired tracing-off-vs-on timing of one representative job.
+
+    Times the same (config, traces) with no tracer installed and with an
+    :class:`~repro.sim.tracing.EventTracer` attached, interleaved over
+    ``repeats`` passes keeping the fastest CPU time of each side.  The
+    job is a FIGCache-Fast single-core run, so command, request, and
+    mechanism hooks all fire.  ``off_cpu_s`` is the number the golden
+    zero-overhead-when-off contract protects; ``overhead_ratio`` is the
+    cost of turning tracing on (on the turbo backend this includes
+    falling back from the fused single-channel loop to the generic one).
+    """
+    from repro.sim.tracing import EventTracer
+
+    scale = scale or ExperimentScale.tiny()
+    backend_name = resolve_backend_name(backend)
+    job = next(job for job in figure7_jobs(scale, quick=True)
+               if job.configuration == "FIGCache-Fast")
+    config, traces = job.build(scale)
+    config = replace(config, backend=backend_name)
+    best: dict[str, float | None] = {"off": None, "on": None}
+    events = dropped = 0
+    for _ in range(max(repeats, 1)):
+        for mode in ("off", "on"):
+            tracer = EventTracer() if mode == "on" else None
+            system = System(config, traces, tracer=tracer)
+            cpu_start = time.process_time()
+            system.run(job.workload)
+            cpu = time.process_time() - cpu_start
+            if best[mode] is None or cpu < best[mode]:
+                best[mode] = cpu
+            if tracer is not None:
+                events = tracer.total_events
+                dropped = tracer.dropped_events
+    off_cpu = best["off"] or 0.0
+    on_cpu = best["on"] or 0.0
+    return {
+        "job": job.name,
+        "backend": backend_name,
+        "repeats": max(repeats, 1),
+        "off_cpu_s": off_cpu,
+        "on_cpu_s": on_cpu,
+        "overhead_ratio": on_cpu / off_cpu if off_cpu else 0.0,
+        "events": events,
+        "dropped_events": dropped,
+    }
+
+
 def resolve_backend_name(backend: str | None) -> str:
     """The backend name a bench run with this ``--backend`` value uses.
 
@@ -220,11 +283,12 @@ def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
         "schema": 1,
         "rev": current_revision(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        **host_metadata(),
         "quick": quick,
         "repeats": max(repeats, 1),
         "backend": backend_name,
+        "tracing": measure_tracing_overhead(scale=scale, backend=backend_name,
+                                            repeats=max(repeats, 1)),
         "scale": {
             "single_core_records": scale.single_core_records,
             "multicore_records": scale.multicore_records,
@@ -533,9 +597,7 @@ def run_sweep_bench(scale: ExperimentScale | None = None,
         "mode": "sweep",
         "rev": current_revision(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
+        **host_metadata(),
         "quick": quick,
         "repeats": max(repeats, 1),
         "backend": resolve_backend_name(None),
@@ -601,6 +663,13 @@ def format_report(report: dict, comparison: dict | None) -> str:
     lines.append(f"  {totals['simulations']} simulations, "
                  f"{totals['sims_per_sec']:.2f} sims/s, peak RSS "
                  f"{totals['peak_rss_bytes'] / (1 << 20):.1f} MiB")
+    tracing = report.get("tracing")
+    if tracing:
+        lines.append(f"  tracing overhead ({tracing['job']}): "
+                     f"{tracing['off_cpu_s']:.3f}s off vs "
+                     f"{tracing['on_cpu_s']:.3f}s on cpu "
+                     f"({tracing['overhead_ratio']:.2f}x, "
+                     f"{tracing['events']:,} events)")
     if comparison:
         lines.append(f"  vs baseline {comparison['baseline_rev']}: "
                      f"geomean speedup {comparison['geomean_speedup']:.2f}x "

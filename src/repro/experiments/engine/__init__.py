@@ -30,6 +30,10 @@ from repro.experiments.engine.cache import (CACHE_DIR_ENV,
                                             default_cache_dir)
 from repro.experiments.engine.executor import (JOBS_ENV, JobExecutionError,
                                                JobExecutor, resolve_jobs)
+from repro.experiments.engine.progress import (PROGRESS_SCHEMA_VERSION,
+                                               CallbackSink, JsonlFileSink,
+                                               ProgressEvent, ProgressSink,
+                                               StderrLineSink, TeeSink)
 from repro.experiments.engine.spec import (CACHE_SCHEMA_VERSION,
                                            ExperimentScale, SimJob)
 
@@ -38,12 +42,19 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "COMPRESS_MIN_BYTES",
     "CacheStats",
+    "CallbackSink",
     "ExperimentScale",
     "JOBS_ENV",
     "JobExecutionError",
     "JobExecutor",
+    "JsonlFileSink",
+    "PROGRESS_SCHEMA_VERSION",
+    "ProgressEvent",
+    "ProgressSink",
     "ResultCache",
     "SimJob",
+    "StderrLineSink",
+    "TeeSink",
     "cache_salt",
     "configure",
     "default_cache_dir",

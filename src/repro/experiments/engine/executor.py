@@ -45,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.progress import BatchProgress, ProgressSink
 from repro.experiments.engine.spec import SimJob
 from repro.sim.metrics import SimulationResult
 from repro.sim.system import run_workload
@@ -196,9 +197,14 @@ class JobExecutor:
     """Runs simulation-job batches through a cache and a warm worker pool."""
 
     def __init__(self, cache: ResultCache | None = None,
-                 jobs: int | None = None):
+                 jobs: int | None = None,
+                 progress: ProgressSink | None = None):
         self.cache = cache if cache is not None else ResultCache()
         self.jobs = resolve_jobs(jobs)
+        #: Optional progress sink; every batch emits lifecycle events to
+        #: it (see :mod:`repro.experiments.engine.progress`).  Assignable
+        #: after construction — the CLI attaches sinks that way.
+        self.progress = progress
         #: Simulations actually executed (cache misses) over the lifetime.
         self.simulations_executed = 0
         #: Jobs answered straight from the cache over the lifetime.
@@ -271,19 +277,31 @@ class JobExecutor:
 
         results: dict[SimJob, SimulationResult] = {}
         pending: list[tuple[SimJob, str]] = []
+        batch_hits = 0
         for job, key in ordered:
             cached = self.cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                batch_hits += 1
                 results[job] = cached
             else:
                 pending.append((job, key))
 
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._run_parallel(pending, results)
-            else:
-                self._run_serial(pending, results)
+        tracker = None
+        if self.progress is not None:
+            tracker = BatchProgress(self.progress, total=len(ordered),
+                                    cache_hits=batch_hits,
+                                    workers=self.jobs)
+            tracker.batch_start()
+        try:
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    self._run_parallel(pending, results, tracker)
+                else:
+                    self._run_serial(pending, results, tracker)
+        finally:
+            if tracker is not None:
+                tracker.batch_end()
         # Submission order, independent of completion order.
         return {job: results[job] for job, _ in ordered}
 
@@ -295,12 +313,15 @@ class JobExecutor:
     # Execution strategies.
     # ------------------------------------------------------------------
     def _run_serial(self, pending: Sequence[tuple[SimJob, str]],
-                    results: dict) -> None:
+                    results: dict,
+                    tracker: BatchProgress | None = None) -> None:
         self.last_worker_pids = frozenset((os.getpid(),))
         for job, key in pending:
             try:
                 result, sim_cpu = _run_job(job)
             except Exception as exc:
+                if tracker is not None:
+                    tracker.job_failed(repr(exc), _describe(job))
                 raise JobExecutionError(
                     f"job failed: {_describe(job)}\n"
                     f"cause: {exc!r}", job=job) from exc
@@ -308,9 +329,12 @@ class JobExecutor:
             self.sim_cpu_s += sim_cpu
             self.cache.put(key, result)
             results[job] = result
+            if tracker is not None:
+                tracker.job_completed()
 
     def _run_parallel(self, pending: Sequence[tuple[SimJob, str]],
-                      results: dict) -> None:
+                      results: dict,
+                      tracker: BatchProgress | None = None) -> None:
         # Group same-trace jobs into the same chunk so each worker builds
         # (or memo-hits) as few distinct traces as possible, then split
         # into ~CHUNKS_PER_WORKER x workers chunks.  The grouping is a
@@ -321,8 +345,15 @@ class JobExecutor:
         tasks = [(index, job) for index, (job, _) in indexed]
         chunks = _chunked(tasks, CHUNKS_PER_WORKER * self.jobs)
 
+        spawned = self._pool is None
         pool = self._ensure_pool()
-        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        if spawned and tracker is not None:
+            tracker.pool_spawned()
+        futures = []
+        for chunk in chunks:
+            futures.append(pool.submit(_run_chunk, chunk))
+            if tracker is not None:
+                tracker.chunk_dispatched(len(chunk))
         pids = set()
         failure = None
         failed_job = None
@@ -343,6 +374,8 @@ class JobExecutor:
                     stored.append((key, result))
                     results[job] = result
                 self.cache.put_many(stored)
+                if tracker is not None and done:
+                    tracker.chunk_completed(len(done), pid)
                 if chunk_failure is not None and failure is None:
                     failure = chunk_failure
                     failed_job = pending[chunk_failure[0]][0]
@@ -356,12 +389,16 @@ class JobExecutor:
             # resumability guarantee — but the pool is unusable: discard
             # it so the next run() starts a fresh one.
             self._discard_pool()
+            if tracker is not None:
+                tracker.pool_broken()
             raise
         finally:
             self.last_worker_pids = frozenset(pids)
 
         if failure is not None:
             index, exc_repr, tb_text = failure
+            if tracker is not None:
+                tracker.job_failed(exc_repr, _describe(failed_job))
             raise JobExecutionError(
                 f"job failed in worker: {_describe(failed_job)}\n"
                 f"cause: {exc_repr}\n{tb_text}", job=failed_job)

@@ -27,7 +27,8 @@ class System:
     def __init__(self, config: SystemConfig,
                  traces: list[list[TraceRecord]],
                  energy_params: SystemEnergyParams | None = None,
-                 limits: SimulatorLimits | None = None):
+                 limits: SimulatorLimits | None = None,
+                 tracer=None):
         if not traces:
             raise ValueError("at least one per-core trace is required")
         self.config = config
@@ -45,6 +46,12 @@ class System:
             energy_params = SystemEnergyParams(dram=config.dram_energy)
         self.energy_model = SystemEnergyModel(energy_params)
         self._limits = limits
+        #: Optional event tracer (see :mod:`repro.sim.tracing`).  A run-time
+        #: observer, not part of :class:`SystemConfig` — it never enters the
+        #: config digest and never changes simulated results.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.install(self)
         #: Simulator events processed by the most recent :meth:`run` call
         #: (used by the perf benchmark harness to report events/sec).
         self.processed_events = 0
@@ -134,8 +141,9 @@ class System:
 def run_workload(config: SystemConfig, traces: list[list[TraceRecord]],
                  workload_name: str = "workload",
                  energy_params: SystemEnergyParams | None = None,
-                 limits: SimulatorLimits | None = None) -> SimulationResult:
+                 limits: SimulatorLimits | None = None,
+                 tracer=None) -> SimulationResult:
     """Build a system for ``config``, run ``traces``, and return the result."""
     system = System(config, traces, energy_params=energy_params,
-                    limits=limits)
+                    limits=limits, tracer=tracer)
     return system.run(workload_name)

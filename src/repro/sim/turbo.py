@@ -415,10 +415,17 @@ class TurboSimulator:
         return self._now
 
     def run(self) -> int:
-        """Run until every core finishes its trace; returns the final cycle."""
+        """Run until every core finishes its trace; returns the final cycle.
+
+        The fully-fused single-channel loop inlines the controller service
+        path the event tracer hooks into, so traced runs take the generic
+        loop instead — bit-identical by the backend parity contract, and
+        the fused path stays free of tracing checks.
+        """
         with interpreter_run_guard():
             if len(self._controller.channel_controllers) == 1 \
-                    and len(self._cores) == 1:
+                    and len(self._cores) == 1 \
+                    and self._controller.channel_controllers[0].tracer is None:
                 return self._run_single()
             return self._run_multi()
 

@@ -98,6 +98,61 @@ class TestCrossBackendParity:
         assert results["turbo"] == results["python"]
 
 
+class TestTracingParity:
+    """Tracing must not perturb results, and both backends must emit the
+    same event stream (PR 8).
+
+    With a tracer installed the turbo backend leaves its fully-fused
+    single-channel loop for the generic one; these tests pin that the
+    detour is invisible in the results *and* that the recorded DRAM
+    command sequence is identical to the reference loop's.
+    """
+
+    @staticmethod
+    def _traced(configuration: str, workload: str, backend: str):
+        from repro.sim.tracing import EventTracer
+        config = make_system_config(configuration, channels=1,
+                                    backend=backend)
+        traces = [get_benchmark(workload).make_trace(PARITY_RECORDS)]
+        tracer = EventTracer()
+        result = run_workload(config, traces, workload, tracer=tracer)
+        return result.to_dict(), tracer
+
+    @staticmethod
+    def _normalized(events):
+        """Event list with request ids remapped by first appearance.
+
+        Request ids come from a process-global counter, so two runs in
+        the same process never share absolute ids; everything else about
+        the streams must match exactly.
+        """
+        from repro.sim.tracing import REQ
+        ids: dict = {}
+        normalized = []
+        for record in events:
+            if record[0] == REQ:
+                dense = ids.setdefault(record[5], len(ids))
+                record = record[:5] + (dense,) + record[6:]
+            normalized.append(record)
+        return normalized
+
+    @pytest.mark.parametrize("configuration",
+                             ("Base", "FIGCache-Fast", "LISA-VILLA"))
+    def test_backends_emit_identical_event_streams(self, configuration):
+        reference, ref_tracer = self._traced(configuration, "mcf", "python")
+        turbo, turbo_tracer = self._traced(configuration, "mcf", "turbo")
+        assert turbo == reference
+        assert self._normalized(turbo_tracer.events) == \
+            self._normalized(ref_tracer.events)
+        assert turbo_tracer.total_events == ref_tracer.total_events
+
+    @pytest.mark.parametrize("backend", ("python", "turbo"))
+    def test_tracing_on_matches_tracing_off(self, backend):
+        baseline = _single_result("FIGCache-Fast", "mcf", backend)
+        traced, _ = self._traced("FIGCache-Fast", "mcf", backend)
+        assert traced == baseline
+
+
 class TestBackendSelection:
     """Name → env var → default precedence, with loud failures."""
 

@@ -458,6 +458,111 @@ class TestWorkerFailures:
         executor.close()
 
 
+class TestProgressEvents:
+    """The executor's structured progress stream (PR 8)."""
+
+    @staticmethod
+    def _events(path):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        events = [json.loads(line) for line in lines]
+        assert all(event["schema"] == 1 for event in events)
+        return events
+
+    def test_jsonl_stream_for_a_parallel_batch(self, tmp_path):
+        from repro.experiments.engine import JsonlFileSink
+        jobs = _tiny_jobs("gcc", "mcf", "lbm")
+        log = tmp_path / "progress.jsonl"
+        with JobExecutor(cache=ResultCache(tmp_path / "cache"),
+                         jobs=2) as executor:
+            executor.progress = sink = JsonlFileSink(log)
+            executor.run(jobs)
+            sink.close()
+        events = self._events(log)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "batch-start"
+        assert kinds[-1] == "batch-end"
+        assert "pool-spawned" in kinds
+        assert kinds.count("chunk-dispatched") == \
+            kinds.count("chunk-completed")
+        start, end = events[0], events[-1]
+        assert start["total"] == 3 and start["cache_hits"] == 0
+        # ``pending`` is the batch's simulate count; a clean batch ends
+        # with every pending job done.
+        assert end["done"] == 3 and end["pending"] == 3
+        assert all(event["workers"] == 2 for event in events)
+
+    def test_warm_batch_reports_all_cache_hits(self, tmp_path):
+        from repro.experiments.engine import JsonlFileSink
+        jobs = _tiny_jobs("gcc", "mcf")
+        with JobExecutor(cache=ResultCache(tmp_path / "cache"),
+                         jobs=1) as executor:
+            executor.run(jobs)
+            log = tmp_path / "warm.jsonl"
+            executor.progress = sink = JsonlFileSink(log)
+            executor.run(jobs)
+            sink.close()
+        events = self._events(log)
+        start = events[0]
+        assert start["kind"] == "batch-start"
+        assert start["cache_hits"] == start["total"] == 2
+        assert start["pending"] == 0
+        # Nothing to simulate: the stream is just start -> end.
+        assert [event["kind"] for event in events] == \
+            ["batch-start", "batch-end"]
+
+    def test_failure_emits_job_failed_and_still_raises(self, tmp_path):
+        from repro.experiments.engine import JsonlFileSink
+        log = tmp_path / "fail.jsonl"
+        executor = JobExecutor(jobs=1)
+        executor.progress = sink = JsonlFileSink(log)
+        with pytest.raises(JobExecutionError):
+            executor.run([PoisonJob()])
+        sink.close()
+        events = self._events(log)
+        kinds = [event["kind"] for event in events]
+        assert "job-failed" in kinds
+        assert kinds[-1] == "batch-end"  # emitted even on failure
+        failed = next(e for e in events if e["kind"] == "job-failed")
+        assert "poisoned" in failed["error"]
+        assert "'kind': 'poison'" in failed["job"]
+
+    def test_callback_sink_sees_serial_job_completions(self):
+        from repro.experiments.engine import CallbackSink
+        seen = []
+        executor = JobExecutor(jobs=1)
+        executor.progress = CallbackSink(seen.append)
+        executor.run(_tiny_jobs("gcc", "mcf"))
+        kinds = [event.kind for event in seen]
+        assert kinds[0] == "batch-start" and kinds[-1] == "batch-end"
+        assert kinds.count("job-completed") == 2
+        done = [e.done for e in seen if e.kind == "job-completed"]
+        assert done == [1, 2]
+
+    def test_stderr_sink_writes_human_lines(self):
+        import io
+        from repro.experiments.engine import StderrLineSink
+        stream = io.StringIO()
+        executor = JobExecutor(jobs=1)
+        executor.progress = sink = StderrLineSink(stream)
+        executor.run(_tiny_jobs("gcc"))
+        sink.close()
+        text = stream.getvalue()
+        assert "[engine]" in text
+        assert "1/1 jobs" in text
+
+    def test_sweep_cli_progress_file(self, tmp_path, capsys):
+        log = tmp_path / "progress.jsonl"
+        argv = ["sweep", "--segment-blocks", "8", "--cache-rows", "32",
+                "--scale", "tiny", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--progress-file", str(log)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        events = self._events(log)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "batch-start" and kinds[-1] == "batch-end"
+
+
 class TestGeometricMean:
     def test_no_underflow_or_overflow_on_long_extreme_lists(self):
         # 1e4 values near zero: a running product underflows to 0.0 long
