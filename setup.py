@@ -1,0 +1,75 @@
+"""Optional ahead-of-time (AOT) build of the turbo simulation backend.
+
+The package is pure Python and installs without a compiler.  When Cython
+is available (``pip install -e '.[aot]'`` provides it), this script
+additionally compiles the two hot modules of the turbo backend —
+``repro/sim/turbo.py`` and ``repro/sim/turbo_tables.py`` — to C
+extensions.  Compiled and interpreted builds are bit-identical by the
+backend contract; the only observable difference is speed and the
+``compiled: true`` flag in bench reports (see
+:func:`repro.sim.backend.backend_build_info`).
+
+Recipe (also in docs/performance.md)::
+
+    pip install -e '.[aot]'             # pure-Python install + Cython
+    python setup.py build_ext --inplace # compile the turbo modules
+
+Without Cython the second step is a no-op that prints a note, and
+imports keep using the pure-Python modules.  Deleting the built
+``*.so``/``*.pyd`` files next to the sources reverts to interpreted
+mode; ``python setup.py aot_clean`` does exactly that.
+"""
+
+import glob
+import os
+
+from setuptools import Command, setup
+
+#: Turbo-backend modules compiled by the optional AOT build.
+AOT_MODULES = [
+    os.path.join("src", "repro", "sim", "turbo_tables.py"),
+    os.path.join("src", "repro", "sim", "turbo.py"),
+]
+
+
+def aot_extensions():
+    """Cython extensions for the turbo backend, or [] without Cython."""
+    try:
+        from Cython.Build import cythonize
+    except ImportError:
+        if "build_ext" in os.sys.argv:
+            print("setup.py: Cython not installed — skipping the AOT build "
+                  "of the turbo backend (pip install -e '.[aot]' provides "
+                  "it); the pure-Python modules stay in use")
+        return []
+    return cythonize(
+        AOT_MODULES,
+        # The modules are plain Python (shared with the interpreted
+        # backend), so compile in full language_level 3 semantics.
+        compiler_directives={"language_level": "3"},
+        quiet=True)
+
+
+class AotClean(Command):
+    """Remove AOT build products so imports fall back to pure Python."""
+
+    description = "delete compiled turbo-backend extensions (*.so/*.pyd/*.c)"
+    user_options = []
+
+    def initialize_options(self):
+        pass
+
+    def finalize_options(self):
+        pass
+
+    def run(self):
+        for source in AOT_MODULES:
+            stem = source[:-3]
+            for pattern in (stem + ".c", stem + ".*.so", stem + ".*.pyd",
+                            stem + ".so", stem + ".pyd"):
+                for path in glob.glob(pattern):
+                    print(f"removing {path}")
+                    os.remove(path)
+
+
+setup(ext_modules=aot_extensions(), cmdclass={"aot_clean": AotClean})

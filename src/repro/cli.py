@@ -224,10 +224,20 @@ def _cmd_bench(args) -> int:
         print(bench.format_sweep_report(report))
         print(f"report written to {path}")
         return 0
+    if args.ab:
+        report = bench.run_paired_bench(quick=args.quick,
+                                        repeats=args.repeats,
+                                        backend=args.backend or "turbo")
+        stem = args.output_name or f"BENCH_ab_{report['rev']}"
+        path = bench.write_report(report, Path(args.output_dir), stem=stem)
+        print(bench.format_paired_report(report))
+        print(f"report written to {path}")
+        return 0
     report = bench.run_bench(quick=args.quick, repeats=args.repeats,
                              backend=args.backend)
     output_dir = Path(args.output_dir)
-    path = bench.write_report(report, output_dir)
+    path = bench.write_report(report, output_dir,
+                              stem=args.output_name)
 
     comparison = None
     baseline_path = Path(args.baseline)
@@ -503,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "matrix")
     bench.add_argument("--profile-top", type=int, default=25, metavar="N",
                        help="rows of the --profile table (default 25)")
+    bench.add_argument("--ab", action="store_true",
+                       help="paired A/B mode: time every job on both the "
+                            "python baseline and the --backend candidate "
+                            "(default turbo) in the same process and "
+                            "record per-job + geomean speedups in the "
+                            "report's comparisons block")
     bench.add_argument("--sweep", action="store_true",
                        help="benchmark the experiment engine's sweep "
                             "throughput (jobs/sec, cold cache) instead of "

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.figaro import FigaroEngine, RelocationRequest
+from repro.core.figaro import FigaroEngine
 from repro.core.insertion import InsertionPolicy, make_insertion_policy
 from repro.core.mechanism import CachingMechanism, ServiceResult
 from repro.core.replacement import ReplacementPolicy, make_replacement_policy
@@ -109,6 +109,7 @@ class FIGCache(CachingMechanism):
         self._cfg.validate(dram_config)
         self._figaro = FigaroEngine(dram_config)
         self._segment_blocks = self._cfg.segment_blocks
+        self._ideal_placement = self._cfg.placement == "ideal"
         self._segments_per_source_row = (dram_config.blocks_per_row
                                          // self._cfg.segment_blocks)
         #: Per-bank caches, eagerly built for every bank of the channel so
@@ -260,6 +261,7 @@ class FIGCache(CachingMechanism):
                         segment: int, dirty: bool) -> int:
         """Relocate the missed segment into the cache; returns cycles spent."""
         tags = bank_cache.tags
+        stats = self.stats
         relocation_cycles = 0
         current = now
 
@@ -269,29 +271,26 @@ class FIGCache(CachingMechanism):
                 channel, current, flat_bank, bank_cache)
             relocation_cycles += writeback_cycles
 
-        if self._cfg.placement != "ideal":
-            cache_row_index = tags.cache_row_of_slot(slot)
-            cache_row = bank_cache.cache_row_ids[cache_row_index]
-            slot_offset = tags.slot_offset_in_row(slot)
-            request = RelocationRequest(
-                flat_bank=flat_bank,
-                source_row=source_row,
-                source_column=segment * self._cfg.segment_blocks,
-                destination_row=cache_row,
-                destination_column=slot_offset * self._cfg.segment_blocks,
-                num_blocks=self._cfg.segment_blocks)
-            outcome = self._figaro.relocate(channel, current, request,
-                                            keep_source_open=True,
-                                            validate=False)
-            relocation_cycles += outcome.cycles
-            self.stats.relocation_operations += outcome.reloc_commands
-            current = outcome.completion_cycle
+        if not self._ideal_placement:
+            cache_row = bank_cache.cache_row_ids[
+                slot // tags._segments_per_row]
+            # Inline FigaroEngine.relocate with validate=False: the request
+            # is valid by construction, and the channel's timing model only
+            # needs the rows and block count, so the RelocationRequest /
+            # RelocationOutcome wrappers would be built just to be unpacked
+            # again on this per-miss path.
+            result = channel.relocate(current, flat_bank, source_row,
+                                      cache_row, self._segment_blocks,
+                                      keep_source_open=True)
+            relocation_cycles += result.completion_cycle - result.start_cycle
+            stats.relocation_operations += result.reloc_commands
+            current = result.completion_cycle
 
         tags.insert(slot, source_row, segment, dirty=dirty)
         bank_cache.replacement.notify_insertion(slot)
         bank_cache.insertion.notify_inserted(source_row, segment)
-        self.stats.insertions += 1
-        self.stats.relocation_cycles += relocation_cycles
+        stats.insertions += 1
+        stats.relocation_cycles += relocation_cycles
         if self.tracer is not None:
             self.tracer.mechanism_event(
                 current, channel.channel_id, flat_bank, "fig-insert",
@@ -313,23 +312,16 @@ class FIGCache(CachingMechanism):
 
         writeback_cycles = 0
         current = now
-        if victim.dirty and self._cfg.placement != "ideal":
-            cache_row_index = tags.cache_row_of_slot(victim_slot)
-            cache_row = bank_cache.cache_row_ids[cache_row_index]
-            slot_offset = tags.slot_offset_in_row(victim_slot)
-            request = RelocationRequest(
-                flat_bank=flat_bank,
-                source_row=cache_row,
-                source_column=slot_offset * self._cfg.segment_blocks,
-                destination_row=victim.source_row,
-                destination_column=(victim.source_segment
-                                    * self._cfg.segment_blocks),
-                num_blocks=self._cfg.segment_blocks)
-            outcome = self._figaro.relocate(channel, current, request,
-                                            validate=False)
-            writeback_cycles = outcome.cycles
-            current = outcome.completion_cycle
-            self.stats.relocation_operations += outcome.reloc_commands
+        if victim.dirty and not self._ideal_placement:
+            cache_row = bank_cache.cache_row_ids[
+                victim_slot // tags._segments_per_row]
+            # Inline FigaroEngine.relocate, as on the insert path above.
+            result = channel.relocate(current, flat_bank, cache_row,
+                                      victim.source_row,
+                                      self._segment_blocks)
+            writeback_cycles = result.completion_cycle - result.start_cycle
+            current = result.completion_cycle
+            self.stats.relocation_operations += result.reloc_commands
             self.stats.dirty_writebacks += 1
         elif victim.dirty:
             self.stats.dirty_writebacks += 1

@@ -316,8 +316,13 @@ class Bank:
             raise ValueError("relocation needs at least one block")
         if source_row == destination_row:
             raise ValueError("source and destination rows must differ")
-        src_timing = self.timing_for_row(source_row)
-        dst_timing = self.timing_for_row(destination_row)
+        # Inline timing_for_row: this runs once per FIGCache insertion.
+        all_fast = self._all_fast
+        regular_rows = self._regular_rows
+        src_timing = self._fast if all_fast or source_row >= regular_rows \
+            else self._slow
+        dst_timing = self._fast \
+            if all_fast or destination_row >= regular_rows else self._slow
 
         counters = self._counters
         start = max(now, self._busy_until)
@@ -332,7 +337,7 @@ class Bank:
                 counters.precharges += 1
             cycle = max(cycle, self._next_act_allowed)
             counters.activates += 1
-            if self._all_fast or source_row >= self._regular_rows:
+            if all_fast or source_row >= regular_rows:
                 counters.fast_activates += 1
             if counters.track_row_activations:
                 counters.record_row_activation(self._key, source_row)
@@ -356,7 +361,7 @@ class Bank:
         # paper accounts tRCD (not a full tRAS) for this activation, giving
         # the 63.5 ns end-to-end figure of Section 4.2.
         counters.activates += 1
-        if self._all_fast or destination_row >= self._regular_rows:
+        if all_fast or destination_row >= regular_rows:
             counters.fast_activates += 1
         if counters.track_row_activations:
             counters.record_row_activation(self._key, destination_row)

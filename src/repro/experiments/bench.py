@@ -66,31 +66,54 @@ class BenchJob:
     workload: str
     #: Device-catalog standard the simulated system uses.
     standard: str = "DDR4-1600"
+    #: Core-count override for multicore jobs (0 = the scale's default).
+    cores: int = 0
+    #: Channel-count override (0 = one channel for single-core jobs, the
+    #: scale's ``multicore_channels`` for multicore jobs).
+    channels: int = 0
 
     def build(self, scale: ExperimentScale):
         """Build the (config, traces, workload-name) inputs, untimed."""
         if self.kind == "single-core":
-            config = make_system_config(self.configuration, channels=1,
+            config = make_system_config(self.configuration,
+                                        channels=self.channels or 1,
                                         standard=self.standard)
             traces = [get_benchmark(self.workload)
                       .make_trace(scale.single_core_records)]
         else:
-            config = make_system_config(self.configuration,
-                                        channels=scale.multicore_channels,
-                                        standard=self.standard)
-            suite = {w.name: w for w in multicore_suite(scale)}
+            config = make_system_config(
+                self.configuration,
+                channels=self.channels or scale.multicore_channels,
+                standard=self.standard)
+            if self.cores:
+                from repro.workloads.multiprogram import make_workload_suite
+                mixes = make_workload_suite(
+                    num_cores=self.cores,
+                    mixes_per_category=scale.mixes_per_category)
+            else:
+                mixes = multicore_suite(scale)
+            suite = {w.name: w for w in mixes}
             traces = suite[self.workload].make_traces(
                 scale.multicore_records)
         return config, traces
 
 
+#: Configurations timed on the multicore mixes by full runs: the three
+#: mechanism families the paper's headline studies sweep.
+MULTICORE_CONFIGURATIONS = ("Base", "FIGCache-Fast", "LISA-VILLA")
+
+
 def figure7_jobs(scale: ExperimentScale, quick: bool = False) -> list[BenchJob]:
     """The figure-7 workload set: every configuration on every benchmark.
 
-    Full runs add one multiprogrammed mix on Base and FIGCache-Fast so the
-    multicore event interleaving (4 channels, 8 cores) is represented.
-    Quick (CI) runs add one non-DDR4 job so the per-bank-refresh and
-    bank-group-pacing code paths are part of the perf smoke signal.
+    The multicore portion covers the batch-stepped multi-core engine's
+    moving parts: 8-core/4-channel mixes across the three mechanism
+    families (``multi:*``), a 4-core/2-channel suite (``multi4:*``), and
+    an 8-core/2-channel job (``multi2ch:*``) so channel-count scaling is
+    tracked separately from core-count scaling.  Quick (CI) runs keep one
+    job per multicore shape, and add one non-DDR4 single-core job so the
+    per-bank-refresh and bank-group-pacing code paths are part of the
+    perf smoke signal.
     """
     configurations = QUICK_CONFIGURATIONS if quick else DEFAULT_CONFIGURATIONS
     categories = single_core_benchmarks(scale)
@@ -104,12 +127,23 @@ def figure7_jobs(scale: ExperimentScale, quick: bool = False) -> list[BenchJob]:
                              configuration="FIGCache-Fast",
                              kind="single-core", workload="lbm",
                              standard="HBM2"))
-    mixes = multicore_suite(scale)[:1]
-    for mix in mixes:
-        for configuration in QUICK_CONFIGURATIONS:
-            jobs.append(BenchJob(name=f"multi:{configuration}:{mix.name}",
-                                 configuration=configuration,
-                                 kind="multicore", workload=mix.name))
+    multi_configurations = QUICK_CONFIGURATIONS if quick \
+        else MULTICORE_CONFIGURATIONS
+    mix = multicore_suite(scale)[0]
+    for configuration in multi_configurations:
+        jobs.append(BenchJob(name=f"multi:{configuration}:{mix.name}",
+                             configuration=configuration,
+                             kind="multicore", workload=mix.name))
+    # 4-core mixes on 2 channels: mix-50pct-0 keeps the per-channel load
+    # comparable to the 8-core jobs' mix-25pct-0.
+    for configuration in (("Base",) if quick else multi_configurations):
+        jobs.append(BenchJob(name=f"multi4:{configuration}:mix-50pct-0",
+                             configuration=configuration,
+                             kind="multicore", workload="mix-50pct-0",
+                             cores=4, channels=2))
+    jobs.append(BenchJob(name=f"multi2ch:Base:{mix.name}",
+                         configuration="Base", kind="multicore",
+                         workload=mix.name, channels=2))
     return jobs
 
 
@@ -206,6 +240,197 @@ def resolve_backend_name(backend: str | None) -> str:
     return resolve_backend(backend).name
 
 
+def backend_build_info(backend: str | None) -> dict:
+    """Build-mode record (interpreted vs AOT-compiled) for bench reports."""
+    from repro.sim.backend import backend_build_info as build_info
+    return build_info(backend)
+
+
+def _plan_cache_snapshot() -> dict:
+    """Current compiled-plan-cache counters (see repro.sim.turbo)."""
+    from repro.sim.turbo import plan_cache_stats
+    return plan_cache_stats()
+
+
+def _plan_cache_report(before: dict) -> dict:
+    """Plan-cache state plus the counter deltas attributable to this run.
+
+    Bench reports record both the process-wide cache state and how many
+    hits/compiles *this* run contributed, so warm-cache effects (e.g.
+    repeats 2+ reusing plans compiled by repeat 1) are visible in the
+    pinned numbers.
+    """
+    after = _plan_cache_snapshot()
+    report = dict(after)
+    for key in ("hits", "misses", "evictions", "compiles", "bypasses"):
+        report[f"run_{key}"] = after[key] - before.get(key, 0)
+    return report
+
+
+def run_paired_bench(scale: ExperimentScale | None = None,
+                     quick: bool = False, repeats: int = 3,
+                     backend: str | None = "turbo",
+                     baseline_backend: str = "python") -> dict:
+    """Paired same-process A/B timing of two backends over the bench matrix.
+
+    Every job is timed on both backends inside one process, interleaved
+    (baseline then candidate, job by job, ``repeats`` full passes) and
+    keeping each side's fastest CPU time — the measurement protocol behind
+    the pinned ``BENCH_pr*.json`` speedup numbers.  Returns a
+    :func:`run_bench`-shaped report for the candidate ``backend`` whose
+    ``comparisons`` block records per-job and aggregate speedups over
+    ``baseline_backend``, split by job kind (the multicore geomean is the
+    number the turbo engine's acceptance criteria pin).
+    """
+    scale = scale or ExperimentScale.bench()
+    if quick:
+        scale = ExperimentScale.tiny()
+    backend_name = resolve_backend_name(backend)
+    baseline_name = resolve_backend_name(baseline_backend)
+    jobs = figure7_jobs(scale, quick=quick)
+    plan_cache_before = _plan_cache_snapshot()
+
+    inputs = []
+    for job in jobs:
+        config, traces = job.build(scale)
+        inputs.append((job,
+                       replace(config, backend=baseline_name),
+                       replace(config, backend=backend_name), traces))
+    best: dict[str, dict[str, float]] = \
+        {job.name: {} for job in jobs}
+    events_by_job: dict[str, int] = {}
+    cycles_by_job: dict[str, int] = {}
+    wall_by_job: dict[str, float] = {}
+    for _ in range(max(repeats, 1)):
+        for job, base_config, cand_config, traces in inputs:
+            sides = best[job.name]
+            for side, config in (("baseline", base_config),
+                                 ("candidate", cand_config)):
+                system = System(config, traces)
+                wall_start = time.perf_counter()
+                cpu_start = time.process_time()
+                result = system.run(job.workload)
+                cpu = time.process_time() - cpu_start
+                wall = time.perf_counter() - wall_start
+                if side not in sides or cpu < sides[side]:
+                    sides[side] = cpu
+                if side == "candidate":
+                    name = job.name
+                    events_by_job[name] = system.processed_events
+                    cycles_by_job[name] = result.total_cycles
+                    if name not in wall_by_job or wall < wall_by_job[name]:
+                        wall_by_job[name] = wall
+
+    job_reports = []
+    per_job = {}
+    baseline_cpu = {}
+    speedups_by_kind: dict[str, list[float]] = {}
+    total_wall = total_cpu = 0.0
+    total_events = total_cycles = 0
+    for job in jobs:
+        name = job.name
+        sides = best[name]
+        cpu = sides["candidate"]
+        base = sides["baseline"]
+        events = events_by_job[name]
+        speedup = base / cpu if cpu else 0.0
+        per_job[name] = speedup
+        baseline_cpu[name] = base
+        speedups_by_kind.setdefault(job.kind, []).append(speedup)
+        total_wall += wall_by_job[name]
+        total_cpu += cpu
+        total_events += events
+        total_cycles += cycles_by_job[name]
+        job_reports.append({
+            "name": name,
+            "configuration": job.configuration,
+            "kind": job.kind,
+            "workload": job.workload,
+            "wall_s": wall_by_job[name],
+            "cpu_s": cpu,
+            "baseline_cpu_s": base,
+            "speedup": speedup,
+            "events": events,
+            "events_per_sec": events / cpu if cpu else 0.0,
+            "simulated_cycles": cycles_by_job[name],
+        })
+
+    speedups = list(per_job.values())
+    comparison_key = f"{backend_name}_vs_{baseline_name}_paired"
+    return {
+        "schema": 1,
+        "rev": current_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **host_metadata(),
+        "quick": quick,
+        "repeats": max(repeats, 1),
+        "backend": backend_name,
+        "build": backend_build_info(backend_name),
+        "plan_cache": _plan_cache_report(plan_cache_before),
+        "scale": {
+            "single_core_records": scale.single_core_records,
+            "multicore_records": scale.multicore_records,
+            "num_cores": scale.num_cores,
+            "multicore_channels": scale.multicore_channels,
+        },
+        "jobs": job_reports,
+        "totals": {
+            "simulations": len(job_reports),
+            "wall_s": total_wall,
+            "cpu_s": total_cpu,
+            "sims_per_sec": len(job_reports) / total_cpu if total_cpu
+            else 0.0,
+            "events": total_events,
+            "events_per_sec": total_events / total_cpu if total_cpu
+            else 0.0,
+            "simulated_cycles": total_cycles,
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+        "comparisons": {
+            comparison_key: {
+                "note": "same process, same host, interleaved "
+                        f"min-of-{max(repeats, 1)} CPU time",
+                "baseline_backend": baseline_name,
+                "geomean_speedup": geometric_mean(speedups),
+                "min_speedup": min(speedups),
+                "max_speedup": max(speedups),
+                **{f"geomean_speedup_{kind.replace('-', '_')}":
+                   geometric_mean(values)
+                   for kind, values in sorted(speedups_by_kind.items())},
+                "per_job": per_job,
+                "baseline_cpu_s": baseline_cpu,
+            },
+        },
+    }
+
+
+def format_paired_report(report: dict) -> str:
+    """Human-readable summary of a paired A/B bench report."""
+    (comparison_key, comparison), = report["comparisons"].items()
+    lines = [f"paired bench @ {report['rev']} "
+             f"(python {report['python']}, {comparison_key}, "
+             f"compiled={report['build']['compiled']}, "
+             f"quick={report['quick']})"]
+    for job in report["jobs"]:
+        lines.append(f"  {job['name']:<44s} {job['baseline_cpu_s']:8.3f}s -> "
+                     f"{job['cpu_s']:8.3f}s cpu  {job['speedup']:5.2f}x")
+    lines.append(f"  geomean speedup {comparison['geomean_speedup']:.3f}x "
+                 f"(min {comparison['min_speedup']:.2f}x, "
+                 f"max {comparison['max_speedup']:.2f}x)")
+    for key in sorted(comparison):
+        if key.startswith("geomean_speedup_"):
+            lines.append(f"  {key[len('geomean_speedup_'):]}: "
+                         f"{comparison[key]:.3f}x")
+    cache = report.get("plan_cache") or {}
+    if cache:
+        lines.append(f"  plan cache: {cache.get('run_hits', 0)} hits, "
+                     f"{cache.get('run_compiles', 0)} compiles this run "
+                     f"(size {cache.get('size', 0)}/"
+                     f"{cache.get('capacity', 0)}, "
+                     f"enabled={cache.get('enabled')})")
+    return "\n".join(lines)
+
+
 def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
               repeats: int = 1, backend: str | None = None) -> dict:
     """Time the benchmark matrix; returns the report dictionary.
@@ -221,6 +446,7 @@ def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
         scale = ExperimentScale.tiny()
     backend_name = resolve_backend_name(backend)
     jobs = figure7_jobs(scale, quick=quick)
+    plan_cache_before = _plan_cache_snapshot()
 
     # Build every job's inputs up front (untimed), then time ``repeats``
     # full passes over the matrix and keep each job's fastest time.
@@ -287,6 +513,8 @@ def run_bench(scale: ExperimentScale | None = None, quick: bool = False,
         "quick": quick,
         "repeats": max(repeats, 1),
         "backend": backend_name,
+        "build": backend_build_info(backend_name),
+        "plan_cache": _plan_cache_report(plan_cache_before),
         "tracing": measure_tracing_overhead(scale=scale, backend=backend_name,
                                             repeats=max(repeats, 1)),
         "scale": {
@@ -369,13 +597,18 @@ def profile_job(job_name: str | None = None,
     The profiled region is exactly the timed region of :func:`run_bench`
     (``System.run`` — trace and system construction excluded), so the
     table explains the numbers the bench emits.  ``job_name`` defaults to
-    the first job of the full matrix; unknown names raise ``ValueError``
+    the first job of the full matrix and accepts any job of the full OR
+    quick matrix — including every multicore job (``multi:*``,
+    ``multi4:*``, ``multi2ch:*``); unknown names raise ``ValueError``
     listing the available jobs.
     """
     scale = scale or ExperimentScale.bench()
     backend_name = resolve_backend_name(backend)
     jobs = figure7_jobs(scale)
     by_name = {job.name: job for job in jobs}
+    for extra in figure7_jobs(scale, quick=True):
+        # Quick-only jobs (e.g. the HBM2 smoke job) are profilable too.
+        by_name.setdefault(extra.name, extra)
     if job_name is None:
         job_name = jobs[0].name
     job = by_name.get(job_name)

@@ -101,6 +101,23 @@ def resolve_backend(name: str | None = None) -> SimulationBackend:
     return spec
 
 
+def backend_build_info(name: str | None = None) -> dict:
+    """How the resolved backend's code executes: interpreted or compiled.
+
+    ``compiled`` is True when the turbo backend's modules were imported
+    from ahead-of-time compiled extensions (the optional ``[aot]`` build
+    — see ``setup.py`` and docs/performance.md); pure-Python imports
+    report False, as does the reference backend.  Bench reports record
+    this flag so pinned numbers are attributable to a build mode.
+    """
+    spec = resolve_backend(name)
+    compiled = False
+    if spec.name == "turbo":
+        from repro.sim import turbo
+        compiled = turbo.__file__.endswith((".so", ".pyd"))
+    return {"backend": spec.name, "compiled": compiled}
+
+
 # ----------------------------------------------------------------------
 # Built-in backends.
 # ----------------------------------------------------------------------

@@ -74,8 +74,9 @@ mutated in place through the same objects the reference loop uses.
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from collections import deque
+import os
+from bisect import bisect_left, insort
+from collections import OrderedDict, deque
 from heapq import heappop, heappush
 
 from repro.controller.controller import MemoryController
@@ -87,6 +88,13 @@ from repro.sim.turbo_tables import tables_for_channel
 _CORE_RUN = 0
 _REQUEST_ARRIVAL = 1
 _CONTROLLER_WAKE = 2
+
+#: Calendar-queue bucket width (cycles) for the fused multi-channel
+#: loop, as a shift: events are binned by ``cycle >> _BUCKET_SHIFT``.
+#: 256 cycles comfortably covers a DRAM access round-trip, so most
+#: same-window completions land in the already-sorted current bucket
+#: (one ``insort`` past the drain pointer) instead of a future one.
+_BUCKET_SHIFT = 8
 
 
 def _compile_core_plan(core: TraceCore) -> tuple:
@@ -273,6 +281,157 @@ def _compile_core_plan(core: TraceCore) -> tuple:
     stats_mem_base = core.stats.memory_instructions - next_record
     return (cost_prefix, instr_prefix, mem_idx, mem_events,
             stats_instr_base, stats_mem_base)
+
+
+# ----------------------------------------------------------------------
+# Process-wide compiled-plan cache.
+#
+# A core's plan is a pure function of its trace contents and its cache-
+# hierarchy geometry + latencies: the compile pass is a deterministic
+# LRU simulation over the address sequence, so two fresh cores with the
+# same (hierarchy, trace) pair always compile to the same prefix arrays
+# and the same counter deltas.  Caching the plan makes the compile pass
+# a one-time cost per (trace, config) instead of a per-run cost — the
+# bench harness reuses its inputs across repeat passes, and the sweep
+# engine's warm workers (see ``repro.experiments.engine.executor``)
+# memoize trace and config objects per worker, so a warm worker that
+# re-simulates a known workload skips plan compilation entirely (the
+# cache is module-level state and therefore survives across the
+# worker's job batches).
+#
+# On a cache hit the hierarchy's *counters* are replayed onto the fresh
+# core from the recorded deltas; the LRU set contents themselves are
+# left empty.  That is unobservable: results serialize the counters,
+# never the set occupancy, and a plan-cache hit only ever happens on a
+# fresh core (``_next_record == 0`` and untouched hierarchy counters),
+# whose sets no later code reads.
+# ----------------------------------------------------------------------
+
+#: Environment opt-out: set to ``0`` to compile every plan from scratch.
+PLAN_CACHE_ENV = "REPRO_TURBO_PLAN_CACHE"
+
+#: LRU bound on cached plans.  Each entry holds the prefix arrays for
+#: one trace (a few hundred KiB at bench scale), so the bound caps the
+#: cache at tens of MiB while still covering a whole workload suite.
+PLAN_CACHE_CAPACITY = 64
+
+_plan_cache: OrderedDict = OrderedDict()
+_plan_cache_counters = {"hits": 0, "misses": 0, "evictions": 0,
+                        "compiles": 0, "bypasses": 0}
+
+
+def plan_cache_enabled() -> bool:
+    """Whether the compiled-plan cache is active (see PLAN_CACHE_ENV)."""
+    return os.environ.get(PLAN_CACHE_ENV, "1") != "0"
+
+
+def plan_cache_stats() -> dict:
+    """Snapshot of the plan cache: size, capacity, and hit/miss counters.
+
+    ``compiles`` counts every real :func:`_compile_core_plan` pass
+    (cache misses plus bypasses), so warm-worker tests can assert that
+    repeated batches stop compiling.  Counters are process-global and
+    cumulative; diff two snapshots to scope them to one run.
+    """
+    return {
+        "enabled": plan_cache_enabled(),
+        "size": len(_plan_cache),
+        "capacity": PLAN_CACHE_CAPACITY,
+        **_plan_cache_counters,
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and zero the counters (test isolation)."""
+    _plan_cache.clear()
+    for name in _plan_cache_counters:
+        _plan_cache_counters[name] = 0
+
+
+def _hierarchy_signature(core: TraceCore) -> tuple:
+    """The hierarchy parameters the compile pass depends on.
+
+    Exactly the fields :func:`_compile_core_plan` hoists: per-level set
+    count, associativity, and offset bits decide hit/miss/writeback
+    sequences; the exposed hit latencies decide the cost prefix.  Two
+    hierarchies agreeing on these compile any trace identically.
+    """
+    hier = core.hierarchy
+    l1 = hier.l1
+    l2 = hier.l2
+    llc = hier.llc
+    return (l1._num_sets, l1._associativity, l1._offset_bits,
+            hier._l1_hit.exposed_latency,
+            l2._num_sets, l2._associativity, l2._offset_bits,
+            hier._l2_hit.exposed_latency,
+            llc._num_sets, llc._associativity, llc._offset_bits,
+            hier._llc_hit.exposed_latency)
+
+
+def _plan_for_core(core: TraceCore) -> tuple:
+    """Compiled batch-step plan for ``core``, through the plan cache.
+
+    Cache hits replay the recorded hierarchy counter deltas onto the
+    core (the compile pass's only side effect) and recompute the
+    ``CoreStats`` flush bases from the core's current stats.  Only a
+    fresh core is eligible — a partially-run core (never the case for
+    the simulators here, which compile once at run start) bypasses the
+    cache, as does the :data:`PLAN_CACHE_ENV` opt-out.
+    """
+    hier = core.hierarchy
+    if core._next_record != 0 or core._issued_instructions != 0 \
+            or hier.accesses != 0 or not plan_cache_enabled():
+        _plan_cache_counters["bypasses"] += 1
+        _plan_cache_counters["compiles"] += 1
+        return _compile_core_plan(core)
+    key = (_hierarchy_signature(core), tuple(core._trace_fast))
+    l1 = hier.l1
+    l2 = hier.l2
+    llc = hier.llc
+    entry = _plan_cache.get(key)
+    if entry is not None:
+        _plan_cache.move_to_end(key)
+        _plan_cache_counters["hits"] += 1
+        cost_prefix, instr_prefix, mem_idx, mem_events, deltas = entry
+        (d_l1_hits, d_l1_misses, d_l1_writebacks,
+         d_l2_hits, d_l2_misses, d_l2_writebacks,
+         d_llc_hits, d_llc_misses, d_llc_writebacks,
+         d_hier_llc_misses, d_hier_accesses) = deltas
+        l1.hits += d_l1_hits
+        l1.misses += d_l1_misses
+        l1.writebacks += d_l1_writebacks
+        l2.hits += d_l2_hits
+        l2.misses += d_l2_misses
+        l2.writebacks += d_l2_writebacks
+        llc.hits += d_llc_hits
+        llc.misses += d_llc_misses
+        llc.writebacks += d_llc_writebacks
+        hier.llc_misses += d_hier_llc_misses
+        hier.accesses += d_hier_accesses
+        # Fresh core: issued_instructions and next_record are both zero,
+        # so the flush bases reduce to the current absolute stats.
+        stats = core.stats
+        return (cost_prefix, instr_prefix, mem_idx, mem_events,
+                stats.instructions, stats.memory_instructions)
+    before = (l1.hits, l1.misses, l1.writebacks,
+              l2.hits, l2.misses, l2.writebacks,
+              llc.hits, llc.misses, llc.writebacks,
+              hier.llc_misses, hier.accesses)
+    _plan_cache_counters["misses"] += 1
+    _plan_cache_counters["compiles"] += 1
+    plan = _compile_core_plan(core)
+    deltas = (l1.hits - before[0], l1.misses - before[1],
+              l1.writebacks - before[2],
+              l2.hits - before[3], l2.misses - before[4],
+              l2.writebacks - before[5],
+              llc.hits - before[6], llc.misses - before[7],
+              llc.writebacks - before[8],
+              hier.llc_misses - before[9], hier.accesses - before[10])
+    _plan_cache[key] = (plan[0], plan[1], plan[2], plan[3], deltas)
+    if len(_plan_cache) > PLAN_CACHE_CAPACITY:
+        _plan_cache.popitem(last=False)
+        _plan_cache_counters["evictions"] += 1
+    return plan
 
 
 def _step_core(core: TraceCore, plan: tuple, now: int) -> list:
@@ -648,7 +807,7 @@ class TurboSimulator:
         # one loop iteration per memory-touching record, not per trace
         # record.
         (cost_prefix, instr_prefix, mem_idx, mem_events,
-         stats_instr_base, stats_mem_base) = _compile_core_plan(core)
+         stats_instr_base, stats_mem_base) = _plan_for_core(core)
         trace_n1 = trace_length + 1
         n_mem_events = len(mem_idx)
         mem_ptr = 0
@@ -1794,9 +1953,1426 @@ class TurboSimulator:
         return self._finish(cycle, processed)
 
     # ------------------------------------------------------------------
-    # Multi-channel loop: the reference heap engine plus request pooling.
+    # Fused multi-channel loop: calendar-queue scheduling, batch-stepped
+    # cores, and the single-channel loop's inlined controller/DRAM
+    # service path generalised to N channels.
     # ------------------------------------------------------------------
     def _run_multi(self) -> int:
+        """Batch-stepped N-channel x M-core engine (bit-identical).
+
+        Two structural changes over :meth:`_run_multi_generic`:
+
+        * **Calendar queue.**  The global event heap is replaced by a
+          bucketed calendar queue: events land in per-window buckets
+          (``cycle >> _BUCKET_SHIFT``), the earliest bucket is sorted
+          once and drained by pointer, and same-window pushes insert in
+          order past the drain pointer (every push is for ``>= now``, so
+          a new event always sorts after the pointer).  ``(cycle, seq)``
+          with the reference loop's unique, monotone ``seq`` decides the
+          order completely, so the drain sequence is exactly the heap's.
+
+        * **Fused request path.**  Address decode, controller enqueue,
+          the FR-FCFS pick, the flat-table timing chain, and the
+          FIGCache/LISA-VILLA probe-and-miss resolution are the
+          single-channel loop's inlined blocks, indexed per channel.
+          KEEP every block IN SYNC with its copy in ``_run_single`` and
+          with the sources those name.  Queue occupancy, drain mode, and
+          completion counters are mutated directly on the controller (no
+          local shadowing), so observers need no synchronisation points.
+
+        Traced runs and controller shapes the fused body does not
+        replicate (unknown mechanism subclasses, mixed timing tables,
+        non-uniform drain watermarks) fall back to the generic loop —
+        bit-identical by the backend parity contract.
+        """
+        from repro.baselines.lisa_villa import LISAVillaMechanism
+        from repro.controller.channel_controller import ChannelController
+        from repro.core.figcache import FIGCache
+        from repro.dram.address import DecodedAddress
+
+        controller = self._controller
+        ccs = controller.channel_controllers
+        cores = self._cores
+        for cc in ccs:
+            # Subclassed controllers (tests, instrumentation) keep the
+            # generic loop, which drives them through their real methods.
+            if cc.tracer is not None or type(cc) is not ChannelController:
+                return self._run_multi_generic()
+        channels_l = [cc.channel for cc in ccs]
+        n_channels = len(ccs)
+
+        # One set of hoisted timing scalars serves every channel: all
+        # channels of a device share one DRAMConfig, so the content-
+        # keyed table cache hands back one ChannelTables object.  Guard
+        # by identity and fall back if a future device shape breaks it.
+        tables = tables_for_channel(channels_l[0])
+        for ch in channels_l[1:]:
+            if tables_for_channel(ch) is not tables:
+                return self._run_multi_generic()
+        col_table = tables.col
+        act_table = tables.act
+        trp_slow, trp_fast = tables.trp
+        trrd = tables.trrd
+        tfaw = tables.tfaw
+        col_pacing = tables.col_pacing
+        tccd_l = tables.tccd_l
+        tccd_s = tables.tccd_s
+        act_bg_pacing = tables.act_bg_pacing
+        trrd_l = tables.trrd_l
+        all_fast = tables.all_fast
+        regular_rows = tables.regular_rows
+
+        # Mechanism specialisation (see _run_single): uniform across
+        # channels or fall back.  Unknown mechanism subclasses take the
+        # generic loop wholesale — every registered configuration is
+        # direct, FIGCache, or LISA-VILLA.
+        mechanisms = [cc.mechanism for cc in ccs]
+        if all(cc._direct_access for cc in ccs):
+            service_kind = 0
+        elif any(cc._direct_access for cc in ccs):
+            return self._run_multi_generic()
+        elif all(type(mechanism) is FIGCache for mechanism in mechanisms):
+            service_kind = 1
+        elif all(type(mechanism) is LISAVillaMechanism
+                 for mechanism in mechanisms):
+            service_kind = 2
+        else:
+            return self._run_multi_generic()
+        row_of_l = [cc._row_of for cc in ccs]
+        if all(row_of is None for row_of in row_of_l):
+            scan_kind = 0
+        elif any(row_of is None for row_of in row_of_l):
+            return self._run_multi_generic()
+        elif service_kind in (1, 2):
+            scan_kind = service_kind
+        else:
+            scan_kind = 3
+        drain_high = ccs[0]._drain_high
+        drain_low = ccs[0]._drain_low
+        for cc in ccs:
+            if cc._drain_high != drain_high or cc._drain_low != drain_low:
+                return self._run_multi_generic()
+
+        fig_stats_l = fig_lookup_l = fig_entries_l = fig_tags_l = None
+        fig_row_ids_l = fig_bank_caches_l = None
+        fig_may_cache_l = fig_insert_l = None
+        seg_blocks = segments_per_row = fig_benefit_max = 0
+        lisa_stats_l = lisa_banks_get_l = None
+        lisa_bank_state_l = lisa_insert_l = None
+        lisa_benefit_max = lisa_fast_base = 0
+        if service_kind == 1:
+            seg_blocks = mechanisms[0]._segment_blocks
+            if any(mechanism._segment_blocks != seg_blocks
+                   for mechanism in mechanisms):
+                return self._run_multi_generic()
+            fig_stats_l = [mechanism.stats for mechanism in mechanisms]
+            fig_bank_caches_l = [
+                [mechanism._bank_cache(index)
+                 for index in range(len(channel._banks))]
+                for mechanism, channel in zip(mechanisms, channels_l)]
+            fig_lookup_l = [[cache.tags._lookup for cache in caches]
+                            for caches in fig_bank_caches_l]
+            fig_entries_l = [[cache.tags._entries for cache in caches]
+                             for caches in fig_bank_caches_l]
+            fig_tags_l = [[cache.tags for cache in caches]
+                          for caches in fig_bank_caches_l]
+            fig_row_ids_l = [[cache.cache_row_ids for cache in caches]
+                             for caches in fig_bank_caches_l]
+            segments_per_row = \
+                fig_bank_caches_l[0][0].tags._segments_per_row
+            fig_benefit_max = fig_bank_caches_l[0][0].tags._benefit_max
+            for caches in fig_bank_caches_l:
+                if caches[0].tags._segments_per_row != segments_per_row \
+                        or caches[0].tags._benefit_max != fig_benefit_max:
+                    return self._run_multi_generic()
+            fig_may_cache_l = [mechanism._may_cache
+                               for mechanism in mechanisms]
+            fig_insert_l = [mechanism._insert_segment
+                            for mechanism in mechanisms]
+        elif service_kind == 2:
+            lisa_benefit_max = mechanisms[0]._benefit_max
+            lisa_fast_base = mechanisms[0]._fast_row_base
+            if any(mechanism._benefit_max != lisa_benefit_max
+                   or mechanism._fast_row_base != lisa_fast_base
+                   for mechanism in mechanisms):
+                return self._run_multi_generic()
+            lisa_stats_l = [mechanism.stats for mechanism in mechanisms]
+            lisa_banks_get_l = [mechanism._banks.get
+                                for mechanism in mechanisms]
+            lisa_bank_state_l = [mechanism._bank_state
+                                 for mechanism in mechanisms]
+            lisa_insert_l = [mechanism._insert_row
+                             for mechanism in mechanisms]
+
+        # Per-channel mechanism handles folded into one tuple each,
+        # unpacked once per arrival-fast-path service or once per due
+        # group in the scheduling block: like ``chan_ctx`` below, a
+        # single UNPACK_SEQUENCE replaces the ``_l[ci]`` subscripts
+        # the fused FIG/LISA branches would otherwise repeat.
+        if service_kind == 1:
+            mech_ctx = [
+                (fig_stats_l[ci], fig_lookup_l[ci], fig_entries_l[ci],
+                 fig_tags_l[ci], fig_row_ids_l[ci],
+                 fig_bank_caches_l[ci], fig_may_cache_l[ci],
+                 fig_insert_l[ci])
+                for ci in range(n_channels)]
+        elif service_kind == 2:
+            mech_ctx = [
+                (lisa_stats_l[ci], lisa_banks_get_l[ci],
+                 lisa_bank_state_l[ci], lisa_insert_l[ci])
+                for ci in range(n_channels)]
+        else:
+            mech_ctx = None
+
+        # Per-channel structure snapshots, indexed by the decoded
+        # channel number (ccs order == MemoryController._controllers_tuple
+        # order, which the inlined controller fan-out below relies on).
+        banks_l = [channel._banks for channel in channels_l]
+        rank_of_l = [channel._rank_of for channel in channels_l]
+        apply_refresh_l = [channel._apply_refresh for channel in channels_l]
+        refresh_on_l = [rank_of[0].refresh_enabled if rank_of else False
+                        for rank_of in rank_of_l]
+        counters_l = [channel.counters for channel in channels_l]
+        track_rows_l = [counters.track_row_activations
+                        for counters in counters_l]
+        reads_l = [cc._reads_by_bank for cc in ccs]
+        writes_l = [cc._writes_by_bank for cc in ccs]
+        wakeup_views = [cc.wakeup_view() for cc in ccs]
+        wakeup_heap_l = [view[0] for view in wakeup_views]
+        wakeup_cycle_l = [view[1] for view in wakeup_views]
+        # (heap, live-map .get) pairs for the per-event wake scans —
+        # prebound so the scans allocate nothing.
+        wake_scan = [(heap, live.get)
+                     for heap, live in zip(wakeup_heap_l, wakeup_cycle_l)]
+        read_lat_l = [cc.read_latencies for cc in ccs]
+        write_lat_l = [cc.write_latencies for cc in ccs]
+        # One tuple per channel with every hoisted handle the service
+        # path touches: a single UNPACK_SEQUENCE is much cheaper than
+        # the ~17 list subscripts it replaces, and services run it once
+        # per event (arrival fast path) or once per due group.
+        chan_ctx = [
+            (ccs[ci], channels_l[ci], banks_l[ci], rank_of_l[ci],
+             refresh_on_l[ci], apply_refresh_l[ci], counters_l[ci],
+             track_rows_l[ci], reads_l[ci], reads_l[ci].get,
+             writes_l[ci], writes_l[ci].get, wakeup_heap_l[ci],
+             wakeup_cycle_l[ci], wakeup_cycle_l[ci].get,
+             read_lat_l[ci], write_lat_l[ci])
+            for ci in range(n_channels)]
+
+        # Address decode, inlined for route-cache misses (KEEP IN SYNC
+        # with AddressMapper.decode / AddressMapper.flat_bank and
+        # MemoryController.route).
+        mapper = controller._device.mapper
+        offset_bits = mapper._offset_bits
+        column_bits = mapper._column_bits
+        column_mask = (1 << column_bits) - 1
+        channel_bits = mapper._channel_bits
+        channel_mask = (1 << channel_bits) - 1
+        bank_bits = mapper._bank_bits
+        bank_mask = (1 << bank_bits) - 1
+        bankgroup_bits = mapper._bankgroup_bits
+        bankgroup_mask = (1 << bankgroup_bits) - 1
+        rank_bits = mapper._rank_bits
+        rank_mask = (1 << rank_bits) - 1
+        rows_per_bank = mapper._rows
+        banks_per_rank = mapper._banks_per_rank
+        banks_per_bankgroup = mapper._banks_per_bankgroup
+        route_cache = controller._route_cache
+        route_cache_get = route_cache.get
+        decoded_address = DecodedAddress
+
+        max_cycles = self._limits.max_cycles
+        max_events = self._limits.max_events
+        telemetry = self._telemetry
+        epoch_end = telemetry.next_epoch if telemetry is not None \
+            else max_cycles + 1
+
+        request_ids = _request_ids
+        freelist: list[MemoryRequest] = []
+        freelist_pop = freelist.pop
+        freelist_append = freelist.append
+
+        # core_id doubles as the index into ``cores`` (see the generic
+        # loop's ``cores[request.core_id]``), so plans live in a list.
+        core_plans = [_plan_for_core(core) for core in cores]
+
+        # Calendar queue.  Buckets hold unsorted (cycle, seq, kind,
+        # payload) tuples per _BUCKET_WIDTH-cycle window; the earliest
+        # bucket is sorted once and drained by pointer.  seq is unique
+        # and monotone, so tuple comparison never reaches the payload.
+        seq = 0
+        seed: list = []
+        for core in cores:
+            seed.append((0, seq, _CORE_RUN, core))
+            seq += 1
+        buckets: dict[int, list] = {0: seed}
+        buckets_get = buckets.get
+        cur_key = -1
+        cur_list: list = []
+        cur_ptr = 0
+        cur_len = 0
+        scheduled_wake: int | None = None
+        processed = self.processed_events
+        cycle = 0
+        while True:
+            if cur_ptr >= cur_len:
+                if not buckets:
+                    break
+                cur_key = min(buckets)
+                cur_list = buckets.pop(cur_key)
+                cur_list.sort()
+                cur_ptr = 0
+                cur_len = len(cur_list)
+                continue
+            cycle, _, kind, payload = cur_list[cur_ptr]
+            cur_ptr += 1
+            if cycle > max_cycles or processed >= max_events:
+                self._now = cycle
+                self.processed_events = processed
+                self._raise_limit(cycle)
+            if cycle >= epoch_end:
+                epoch_end = telemetry.advance(cycle)
+            processed += 1
+
+            #: (channel index, due banks) groups for the shared
+            #: scheduling block, and the requests this event completed.
+            due_work = None
+            completed = None
+            #: Did this event note a new (or sooner) bank wake-up?  Only
+            #: then — or after a WAKE event, which clears the
+            #: ``scheduled_wake`` latch — can the earliest pending wake
+            #: differ from what is already scheduled, so the trailing
+            #: wake scan is skipped otherwise (removals only ever move
+            #: the earliest wake later, which needs no new event).
+            wake_pushed = False
+
+            if kind == _REQUEST_ARRIVAL:
+                # Inline MemoryController.enqueue (route probe + decode)
+                # + ChannelController.enqueue (KEEP IN SYNC).
+                request = payload
+                address = request.address
+                route_entry = route_cache_get(address)
+                if route_entry is None:
+                    bits = address >> offset_bits
+                    column = bits & column_mask
+                    bits >>= column_bits
+                    ci = (bits & channel_mask) if channel_bits else 0
+                    bits >>= channel_bits
+                    bank_index = bits & bank_mask
+                    bits >>= bank_bits
+                    bankgroup = bits & bankgroup_mask
+                    bits >>= bankgroup_bits
+                    rank_index = (bits & rank_mask) if rank_bits else 0
+                    bits >>= rank_bits
+                    decoded = decoded_address(ci, rank_index, bankgroup,
+                                              bank_index,
+                                              bits % rows_per_bank, column)
+                    flat_bank = (rank_index * banks_per_rank
+                                 + bankgroup * banks_per_bankgroup
+                                 + bank_index)
+                    cc = ccs[ci]
+                    route_cache[address] = (decoded, flat_bank, cc)
+                    request.decoded = decoded
+                    request.flat_bank = flat_bank
+                else:
+                    decoded = route_entry[0]
+                    request.decoded = decoded
+                    flat_bank = request.flat_bank = route_entry[1]
+                    cc = route_entry[2]
+                    ci = decoded.channel
+                reads_by_bank = reads_l[ci]
+                writes_by_bank = writes_l[ci]
+                handled = False
+                if request.is_write:
+                    write_count = cc._write_count = cc._write_count + 1
+                    if not cc._drain_mode and write_count >= drain_high:
+                        cc._drain_mode = True
+                    index = writes_by_bank
+                else:
+                    index = reads_by_bank
+                    # Enqueue fast path: a sole read to a free bank is
+                    # picked unconditionally — service it immediately.
+                    if flat_bank not in reads_by_bank \
+                            and flat_bank not in writes_by_bank:
+                        banks = banks_l[ci]
+                        bank = banks[flat_bank]
+                        busy_until = bank._busy_until
+                        nca = bank._next_col_allowed
+                        ready_at = busy_until if busy_until > nca else nca
+                        if ready_at <= cycle:
+                            # SERVICE copy A (read fast path) — KEEP IN
+                            # SYNC with _run_single copy A, with copy B
+                            # below, and with the sources those name.
+                            (cc, channel, banks, rank_of, refresh_on,
+                             apply_refresh, counters, track_rows,
+                             reads_by_bank, reads_get, writes_by_bank,
+                             writes_get, wakeup_heap, wakeup_cycle_map,
+                             wakeup_get, read_latencies,
+                             write_latencies) = chan_ctx[ci]
+                            insert_kind = 0
+                            if service_kind == 0:
+                                row = decoded.row
+                                cache_hit = None
+                            elif service_kind == 1:
+                                (fig_stats, fig_lookup, fig_entries,
+                                 fig_tags, fig_row_ids, fig_caches,
+                                 fig_may_cache,
+                                 fig_insert) = mech_ctx[ci]
+                                src_row = decoded.row
+                                segment = (decoded.column_block
+                                           // seg_blocks)
+                                slot = fig_lookup[flat_bank].get(
+                                    (src_row, segment))
+                                if slot is None:
+                                    # Fused miss: serve the source row
+                                    # through the timing block below;
+                                    # the insertion tail runs after it.
+                                    fig_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 1
+                                else:
+                                    fig_stats.cache_lookups += 1
+                                    fig_stats.cache_hits += 1
+                                    tag_entry = \
+                                        fig_entries[flat_bank][slot]
+                                    if tag_entry.benefit < fig_benefit_max:
+                                        tag_entry.benefit += 1
+                                    tags = fig_tags[flat_bank]
+                                    tags._touch_counter += 1
+                                    tag_entry.last_touch = \
+                                        tags._touch_counter
+                                    if not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = fig_row_ids[flat_bank][
+                                            slot // segments_per_row]
+                                    cache_hit = True
+                            else:
+                                (lisa_stats, lisa_banks_get,
+                                 lisa_bank_state,
+                                 lisa_insert) = mech_ctx[ci]
+                                src_row = decoded.row
+                                state = lisa_banks_get(flat_bank)
+                                tag_entry = None if state is None \
+                                    else state.entries.get(src_row)
+                                if tag_entry is None:
+                                    lisa_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 2
+                                else:
+                                    lisa_stats.cache_lookups += 1
+                                    lisa_stats.cache_hits += 1
+                                    if tag_entry.benefit \
+                                            < lisa_benefit_max:
+                                        tag_entry.benefit += 1
+                                    if not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = lisa_fast_base \
+                                            + tag_entry.cache_slot
+                                    cache_hit = True
+                            rank = rank_of[flat_bank]
+                            if refresh_on \
+                                    and cycle >= rank.next_refresh_due:
+                                start = apply_refresh(cycle, flat_bank)
+                            else:
+                                start = cycle
+                            served_fast = all_fast \
+                                or row >= regular_rows
+                            busy_until = bank._busy_until
+                            if busy_until > start:
+                                start = busy_until
+                            open_row = bank.open_row
+                            if open_row == row:
+                                outcome = "hit"
+                                counters.row_hits += 1
+                                col_cycle = bank._next_col_allowed
+                                if start > col_cycle:
+                                    col_cycle = start
+                            else:
+                                if open_row is None:
+                                    outcome = "miss"
+                                    counters.row_misses += 1
+                                    act_cycle = start
+                                    naa = bank._next_act_allowed
+                                    if act_cycle < naa:
+                                        act_cycle = naa
+                                else:
+                                    outcome = "conflict"
+                                    counters.row_conflicts += 1
+                                    pre_cycle = bank._next_pre_allowed
+                                    if start > pre_cycle:
+                                        pre_cycle = start
+                                    act_cycle = pre_cycle + (
+                                        trp_fast if all_fast
+                                        or open_row >= regular_rows
+                                        else trp_slow)
+                                    counters.precharges += 1
+                                # Inline Bank._activate with rank
+                                # tRRD/tFAW pacing and the bank-group
+                                # tRRD_L split.
+                                rrd_earliest = \
+                                    rank._last_activate + trrd
+                                if rrd_earliest > act_cycle:
+                                    act_cycle = rrd_earliest
+                                recent = rank._recent_activates
+                                if len(recent) == 4:
+                                    faw_earliest = recent[0] + tfaw
+                                    if faw_earliest > act_cycle:
+                                        act_cycle = faw_earliest
+                                if act_bg_pacing:
+                                    bg_last = rank._bg_last_act
+                                    bg_index = bank._bg_index
+                                    bg_earliest = \
+                                        bg_last[bg_index] + trrd_l
+                                    if bg_earliest > act_cycle:
+                                        act_cycle = bg_earliest
+                                    bg_last[bg_index] = act_cycle
+                                rank._last_activate = act_cycle
+                                recent.append(act_cycle)
+                                counters.activates += 1
+                                if served_fast:
+                                    counters.fast_activates += 1
+                                if track_rows:
+                                    counters.record_row_activation(
+                                        bank._key, row)
+                                bank.open_row = row
+                                bank._last_act = act_cycle
+                                trcd, tras = act_table[served_fast]
+                                bank._next_pre_allowed = \
+                                    act_cycle + tras
+                                col_cycle = act_cycle + trcd
+                            if col_pacing:
+                                bg_index = bank._bg_index
+                                earliest_col = \
+                                    rank._bg_last_col[bg_index] + tccd_l
+                                cross = rank._last_col_cycle + tccd_s
+                                if cross > earliest_col:
+                                    earliest_col = cross
+                                if earliest_col > col_cycle:
+                                    col_cycle = earliest_col
+                            data_latency, tbl, tccd, t_a, t_b = \
+                                col_table[served_fast]
+                            burst_start = col_cycle + data_latency
+                            bus_free_at = channel._bus_free_at
+                            if burst_start < bus_free_at:
+                                burst_start = bus_free_at
+                                col_cycle = burst_start - data_latency
+                            completion = burst_start + tbl
+                            channel._bus_free_at = completion
+                            counters.reads += 1
+                            if served_fast:
+                                counters.fast_reads += 1
+                            next_col = col_cycle + tccd
+                            next_pre = col_cycle + t_a     # tRTP
+                            if next_col > bank._next_col_allowed:
+                                bank._next_col_allowed = next_col
+                            if next_pre > bank._next_pre_allowed:
+                                bank._next_pre_allowed = next_pre
+                            if col_cycle > bank._busy_until:
+                                bank._busy_until = col_cycle
+                            if col_pacing:
+                                rank._last_col_cycle = col_cycle
+                                rank._bg_last_col[bg_index] = col_cycle
+                            request.in_dram_cache_hit = cache_hit
+                            request.row_buffer_outcome = outcome
+                            request.served_fast = served_fast
+                            if insert_kind:
+                                # Inline FIGCache.service /
+                                # LISAVillaMechanism.service miss tails
+                                # (KEEP IN SYNC): insertion starts when
+                                # the access data is back.  This path
+                                # never schedules a bank wake, so the
+                                # pushed-out bank readiness needs no
+                                # re-read.
+                                if insert_kind == 1:
+                                    bank_cache = fig_caches[flat_bank]
+                                    insertion = bank_cache.insertion
+                                    if (bank_cache.excluded_subarray < 0
+                                            or fig_may_cache(
+                                                bank_cache, src_row)) \
+                                            and (insertion.always_inserts
+                                                 or insertion
+                                                 .should_insert(
+                                                     src_row, segment)):
+                                        fig_insert(
+                                            channel, completion,
+                                            flat_bank, bank_cache,
+                                            src_row, segment,
+                                            dirty=False)
+                                else:
+                                    if state is None:
+                                        state = lisa_bank_state(
+                                            flat_bank)
+                                    lisa_insert(channel,
+                                                completion,
+                                                flat_bank, state,
+                                                src_row,
+                                                dirty=False)
+                            request.issue_cycle = cycle
+                            request.completion_cycle = completion
+                            cc.completed_reads += 1
+                            latency = completion - request.arrival_cycle
+                            read_latencies[latency] = \
+                                read_latencies.get(latency, 0) + 1
+                            # Completion delivery (see Simulator._run):
+                            # the fast path completes exactly this one
+                            # read.  Inline TraceCore.notify_completion
+                            # (KEEP IN SYNC with it and with the batch
+                            # delivery loop below).
+                            core = cores[request.core_id]
+                            block_mask = core._block_mask
+                            block = address & block_mask
+                            outstanding = core._outstanding
+                            kept = [miss for miss in outstanding
+                                    if (miss.address & block_mask)
+                                    != block]
+                            if len(kept) != len(outstanding):
+                                mshr_entries = core._mshr_entries
+                                mshr_capacity = core._mshr_capacity
+                                window_size = core._window_size
+                                issued = core._issued_instructions
+                                oldest = outstanding[0]
+                                stalled_before = \
+                                    len(mshr_entries) >= mshr_capacity \
+                                    or (oldest.blocks_window
+                                        and (issued - oldest
+                                             .instruction_position)
+                                        >= window_size)
+                                outstanding[:] = kept
+                                del mshr_entries[
+                                    address >> core._mshr_shift]
+                                if kept:
+                                    oldest = kept[0]
+                                    can_progress = not (
+                                        oldest.blocks_window
+                                        and (issued - oldest
+                                             .instruction_position)
+                                        >= window_size)
+                                else:
+                                    can_progress = True
+                                if can_progress \
+                                        and completion \
+                                        > core._core_cycle:
+                                    stall = completion \
+                                        - core._core_cycle
+                                    if stalled_before \
+                                            and len(mshr_entries) + 1 \
+                                            >= mshr_capacity:
+                                        core.stats.stall_cycles_mshr \
+                                            += stall
+                                    else:
+                                        core.stats.stall_cycles_window \
+                                            += stall
+                                    core._core_cycle = completion
+                                if not kept and core._next_record \
+                                        >= core._trace_length:
+                                    # Inline _retire.
+                                    core._finished = True
+                                    core.stats.finish_cycle = \
+                                        core._core_cycle
+                                if can_progress \
+                                        and not core._finished:
+                                    event = (completion, seq,
+                                             _CORE_RUN, core)
+                                    seq += 1
+                                    bucket_key = \
+                                        completion >> _BUCKET_SHIFT
+                                    if bucket_key == cur_key:
+                                        insort(cur_list, event,
+                                               cur_ptr)
+                                        cur_len += 1
+                                    else:
+                                        bucket = \
+                                            buckets_get(bucket_key)
+                                        if bucket is None:
+                                            buckets[bucket_key] = \
+                                                [event]
+                                        else:
+                                            bucket.append(event)
+                            freelist_append(request)
+                            handled = True
+                    if not handled:
+                        cc._read_count += 1
+                if not handled:
+                    # Queue insert in FCFS (request_id) order.
+                    queue = index.get(flat_bank)
+                    if queue is None:
+                        index[flat_bank] = deque((request,))
+                    elif queue[-1].request_id < request.request_id:
+                        queue.append(request)
+                    else:
+                        # Rare out-of-order arrival: restore FCFS order.
+                        position = len(queue) - 1
+                        request_id = request.request_id
+                        while position > 0 \
+                                and queue[position - 1].request_id \
+                                > request_id:
+                            position -= 1
+                        queue.insert(position, request)
+                    bank = banks_l[ci][flat_bank]
+                    busy_until = bank._busy_until
+                    nca = bank._next_col_allowed
+                    ready_at = busy_until if busy_until > nca else nca
+                    if ready_at > cycle:
+                        # Busy bank: note the wake-up (pending work is
+                        # guaranteed — the request was just queued).
+                        wakeup_cycle_map = wakeup_cycle_l[ci]
+                        existing = wakeup_cycle_map.get(flat_bank)
+                        if existing is None or ready_at < existing:
+                            wakeup_cycle_map[flat_bank] = ready_at
+                            heappush(wakeup_heap_l[ci],
+                                     (ready_at, flat_bank))
+                            wake_pushed = True
+                    else:
+                        due_work = ((ci, (flat_bank,)),)
+            elif kind == _CORE_RUN:
+                # Inline _step_core (KEEP IN SYNC with it and with
+                # TraceCore.run_requests): advance the core through its
+                # precompiled plan, pushing each issued request as an
+                # arrival event directly — no intermediate list.
+                core = payload
+                if core._finished:
+                    continue
+                (cost_prefix, instr_prefix, mem_idx, mem_events,
+                 stats_instr_base, stats_mem_base) = \
+                    core_plans[core.core_id]
+                trace_length = len(cost_prefix) - 1
+                trace_n1 = trace_length + 1
+                next_record = core._next_record
+                core_cycle = core._core_cycle
+                if cycle > core_cycle:
+                    core_cycle = cycle
+                outstanding = core._outstanding
+                outstanding_append = outstanding.append
+                mshr_entries = core._mshr_entries
+                mshr_capacity = core._mshr_capacity
+                mshr_get = mshr_entries.get
+                mshr_shift = core._mshr_shift
+                block_mask = core._block_mask
+                mshrs = core.mshrs
+                window_size = core._window_size
+                run_stats = core.stats
+                core_id = core.core_id
+                n_mem_events = len(mem_idx)
+                mem_ptr = bisect_left(mem_idx, next_record)
+                new_writebacks = 0
+                new_miss_loads = 0
+                new_miss_stores = 0
+                while next_record < trace_length:
+                    if len(mshr_entries) >= mshr_capacity:
+                        break
+                    if outstanding:
+                        oldest = outstanding[0]
+                        if oldest.blocks_window:
+                            window_limit = oldest.instruction_position \
+                                + window_size
+                            if instr_prefix[next_record] >= window_limit:
+                                break
+                            stop = bisect_left(instr_prefix, window_limit,
+                                               next_record + 1)
+                        else:
+                            stop = trace_n1
+                    else:
+                        stop = trace_n1
+                    ev = mem_idx[mem_ptr] if mem_ptr < n_mem_events \
+                        else trace_length
+                    if ev < stop and ev < trace_length:
+                        # Hit run up to (and including) the memory
+                        # record — issue cost and exposed cache latency
+                        # come from the prefix arrays.
+                        core_cycle += cost_prefix[ev + 1] \
+                            - cost_prefix[next_record]
+                        next_record = ev + 1
+                        address, is_write, needs_memory, wbs = \
+                            mem_events[mem_ptr]
+                        mem_ptr += 1
+                        for writeback_address in wbs:
+                            new_writebacks += 1
+                            if freelist:
+                                request = freelist_pop()
+                                request.core_id = core_id
+                                request.address = writeback_address
+                                request.is_write = True
+                                request.arrival_cycle = core_cycle
+                                request.request_id = next(request_ids)
+                            else:
+                                request = MemoryRequest(
+                                    core_id, writeback_address, True,
+                                    core_cycle)
+                            event = (core_cycle, seq,
+                                     _REQUEST_ARRIVAL, request)
+                            seq += 1
+                            bucket_key = core_cycle >> _BUCKET_SHIFT
+                            if bucket_key == cur_key:
+                                insort(cur_list, event, cur_ptr)
+                                cur_len += 1
+                            else:
+                                bucket = buckets_get(bucket_key)
+                                if bucket is None:
+                                    buckets[bucket_key] = [event]
+                                else:
+                                    bucket.append(event)
+                        if not needs_memory:
+                            continue
+                        # Inline MSHRFile.allocate: the loop head
+                        # guarantees a free entry.
+                        block = address >> mshr_shift
+                        merged_count = mshr_get(block)
+                        if merged_count is None:
+                            mshr_entries[block] = 1
+                            mshrs.allocations += 1
+                            new_entry = True
+                        else:
+                            mshr_entries[block] = merged_count + 1
+                            mshrs.merges += 1
+                            new_entry = False
+                        if is_write:
+                            new_miss_stores += 1
+                        else:
+                            new_miss_loads += 1
+                        if new_entry:
+                            if freelist:
+                                request = freelist_pop()
+                                request.core_id = core_id
+                                request.address = address
+                                request.is_write = False
+                                request.arrival_cycle = core_cycle
+                                request.request_id = next(request_ids)
+                            else:
+                                request = MemoryRequest(
+                                    core_id, address, False, core_cycle)
+                            event = (core_cycle, seq,
+                                     _REQUEST_ARRIVAL, request)
+                            seq += 1
+                            bucket_key = core_cycle >> _BUCKET_SHIFT
+                            if bucket_key == cur_key:
+                                insort(cur_list, event, cur_ptr)
+                                cur_len += 1
+                            else:
+                                bucket = buckets_get(bucket_key)
+                                if bucket is None:
+                                    buckets[bucket_key] = [event]
+                                else:
+                                    bucket.append(event)
+                            outstanding_append(_OutstandingMiss(
+                                address, instr_prefix[next_record],
+                                not is_write, address & block_mask))
+                        elif not is_write:
+                            # The miss merged into an existing MSHR; the
+                            # load still blocks the window on the earlier
+                            # request's completion.
+                            outstanding_append(_OutstandingMiss(
+                                address, instr_prefix[next_record],
+                                True, address & block_mask))
+                        continue
+                    # No executable memory record: pure hit run to the
+                    # window-stall point or the end of the trace.
+                    stop_record = stop if stop < trace_length \
+                        else trace_length
+                    core_cycle += cost_prefix[stop_record] \
+                        - cost_prefix[next_record]
+                    next_record = stop_record
+                    break
+                core._next_record = next_record
+                core._core_cycle = core_cycle
+                issued_instructions = instr_prefix[next_record]
+                core._issued_instructions = issued_instructions
+                run_stats.instructions = stats_instr_base \
+                    + issued_instructions
+                run_stats.memory_instructions = stats_mem_base \
+                    + next_record
+                run_stats.writebacks += new_writebacks
+                run_stats.llc_miss_loads += new_miss_loads
+                run_stats.llc_miss_stores += new_miss_stores
+                if next_record >= trace_length and not outstanding:
+                    # Inline _retire.
+                    core._finished = True
+                    run_stats.finish_cycle = core_cycle
+                continue
+            else:
+                # CONTROLLER_WAKE (superseded wake events stay in the
+                # queue, exactly like the reference loop's heap).
+                if scheduled_wake is not None and scheduled_wake <= cycle:
+                    scheduled_wake = None
+                next_due = None
+                for wakeup_heap, wakeup_get in wake_scan:
+                    while wakeup_heap:
+                        head = wakeup_heap[0]
+                        if wakeup_get(head[1]) == head[0]:
+                            if next_due is None or head[0] < next_due:
+                                next_due = head[0]
+                            break
+                        heappop(wakeup_heap)
+                if next_due is None:
+                    continue
+                if next_due <= cycle:
+                    # Inline MemoryController.wake: each channel with
+                    # pending wake-ups runs ChannelController.wake in
+                    # controller order (KEEP IN SYNC with both).
+                    due_work = []
+                    for ci in range(n_channels):
+                        wakeup_cycle_map = wakeup_cycle_l[ci]
+                        if not wakeup_cycle_map:
+                            continue
+                        if len(wakeup_cycle_map) == 1:
+                            bank_index, due_cycle = \
+                                next(iter(wakeup_cycle_map.items()))
+                            if due_cycle <= cycle:
+                                del wakeup_cycle_map[bank_index]
+                                due_work.append((ci, (bank_index,)))
+                        else:
+                            due = [bank_index for bank_index, due_cycle
+                                   in wakeup_cycle_map.items()
+                                   if due_cycle <= cycle]
+                            if due:
+                                for bank_index in due:
+                                    del wakeup_cycle_map[bank_index]
+                                due_work.append((ci, due))
+                    if not due_work:
+                        due_work = None
+
+            # ----------------------------------------------------------
+            # Shared scheduling block: inline
+            # ChannelController._try_schedule_bank for each due bank of
+            # each due channel (KEEP IN SYNC with _run_single).
+            # ----------------------------------------------------------
+            if due_work is not None:
+                completed = []
+                completed_append = completed.append
+                for ci, due_banks in due_work:
+                    (cc, channel, banks, rank_of, refresh_on,
+                     apply_refresh, counters, track_rows, reads_by_bank,
+                     reads_get, writes_by_bank, writes_get, wakeup_heap,
+                     wakeup_cycle_map, wakeup_get, read_latencies,
+                     write_latencies) = chan_ctx[ci]
+                    if service_kind == 1:
+                        (fig_stats, fig_lookup, fig_entries, fig_tags,
+                         fig_row_ids, fig_caches, fig_may_cache,
+                         fig_insert) = mech_ctx[ci]
+                    elif service_kind == 2:
+                        (lisa_stats, lisa_banks_get, lisa_bank_state,
+                         lisa_insert) = mech_ctx[ci]
+                    for flat_bank in due_banks:
+                        bank = banks[flat_bank]
+                        ready_at = bank._busy_until
+                        nca = bank._next_col_allowed
+                        if nca > ready_at:
+                            ready_at = nca
+                        while True:
+                            if ready_at > cycle:
+                                # Inline _note_wakeup, incl. its
+                                # no-pending guard.
+                                if flat_bank not in reads_by_bank \
+                                        and flat_bank \
+                                        not in writes_by_bank:
+                                    wakeup_cycle_map.pop(flat_bank, None)
+                                else:
+                                    existing = wakeup_get(flat_bank)
+                                    if existing is None \
+                                            or ready_at < existing:
+                                        wakeup_cycle_map[flat_bank] = \
+                                            ready_at
+                                        heappush(wakeup_heap,
+                                                 (ready_at, flat_bank))
+                                        wake_pushed = True
+                                break
+                            # Inline FRFCFSScheduler.pick + _first_ready
+                            # (KEEP IN SYNC with _run_single).
+                            bank_reads = reads_get(flat_bank)
+                            bank_writes = writes_get(flat_bank)
+                            if bank_writes is None:
+                                if bank_reads is None:
+                                    break
+                                candidates = bank_reads
+                            elif bank_reads is None:
+                                if not cc._drain_mode \
+                                        and cc._write_count < drain_low:
+                                    break
+                                candidates = bank_writes
+                            elif cc._drain_mode:
+                                candidates = bank_writes
+                            else:
+                                candidates = bank_reads
+                            if len(candidates) == 1:
+                                request = candidates[0]
+                            else:
+                                request = None
+                                open_row = bank.open_row
+                                if open_row is not None:
+                                    if scan_kind == 0:
+                                        for cand in candidates:
+                                            if cand.decoded.row \
+                                                    == open_row:
+                                                request = cand
+                                                break
+                                    elif scan_kind == 1:
+                                        # Inline FIGCache.effective_row.
+                                        lookup_get = \
+                                            fig_lookup[flat_bank].get
+                                        entries = \
+                                            fig_entries[flat_bank]
+                                        row_ids = \
+                                            fig_row_ids[flat_bank]
+                                        for cand in candidates:
+                                            cand_decoded = cand.decoded
+                                            cand_row = cand_decoded.row
+                                            slot = lookup_get(
+                                                (cand_row,
+                                                 cand_decoded.column_block
+                                                 // seg_blocks))
+                                            if slot is None:
+                                                effective = cand_row
+                                            elif not entries[slot].dirty \
+                                                    and open_row \
+                                                    == cand_row:
+                                                effective = cand_row
+                                            else:
+                                                effective = row_ids[
+                                                    slot
+                                                    // segments_per_row]
+                                            if effective == open_row:
+                                                request = cand
+                                                break
+                                    elif scan_kind == 2:
+                                        # Inline LISAVillaMechanism
+                                        # .effective_row (a missing bank
+                                        # state means an empty cache).
+                                        state = \
+                                            lisa_banks_get(flat_bank)
+                                        if state is None:
+                                            for cand in candidates:
+                                                if cand.decoded.row \
+                                                        == open_row:
+                                                    request = cand
+                                                    break
+                                        else:
+                                            entries_get = \
+                                                state.entries.get
+                                            for cand in candidates:
+                                                cand_row = \
+                                                    cand.decoded.row
+                                                tag_entry = \
+                                                    entries_get(cand_row)
+                                                if tag_entry is None:
+                                                    effective = cand_row
+                                                elif not tag_entry.dirty \
+                                                        and open_row \
+                                                        == cand_row:
+                                                    effective = cand_row
+                                                else:
+                                                    effective = \
+                                                        lisa_fast_base \
+                                                        + tag_entry \
+                                                        .cache_slot
+                                                if effective == open_row:
+                                                    request = cand
+                                                    break
+                                    else:
+                                        row_of = row_of_l[ci]
+                                        for cand in candidates:
+                                            if row_of(cand) == open_row:
+                                                request = cand
+                                                break
+                                if request is None:
+                                    request = candidates[0]
+                            # Inline _dequeue.
+                            is_write = request.is_write
+                            if is_write:
+                                write_count = cc._write_count = \
+                                    cc._write_count - 1
+                                if cc._drain_mode \
+                                        and write_count <= drain_low:
+                                    cc._drain_mode = False
+                                index = writes_by_bank
+                            else:
+                                cc._read_count -= 1
+                                index = reads_by_bank
+                            queue = index[flat_bank]
+                            if queue[0] is request:
+                                queue.popleft()
+                            else:
+                                queue.remove(request)
+                            if not queue:
+                                del index[flat_bank]
+                            # SERVICE copy B — KEEP IN SYNC with copy A
+                            # above, with _run_single copy B, and with
+                            # the sources those name (copy B additionally
+                            # handles writes: a write hit marks the tag
+                            # entry dirty and is always served from the
+                            # cache row).
+                            decoded = request.decoded
+                            insert_kind = 0
+                            if service_kind == 0:
+                                row = decoded.row
+                                cache_hit = None
+                            elif service_kind == 1:
+                                src_row = decoded.row
+                                segment = \
+                                    decoded.column_block // seg_blocks
+                                slot = fig_lookup[flat_bank].get(
+                                    (src_row, segment))
+                                if slot is None:
+                                    # Fused miss (see copy A).
+                                    fig_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 1
+                                else:
+                                    fig_stats.cache_lookups += 1
+                                    fig_stats.cache_hits += 1
+                                    tag_entry = \
+                                        fig_entries[flat_bank][slot]
+                                    if tag_entry.benefit \
+                                            < fig_benefit_max:
+                                        tag_entry.benefit += 1
+                                    tags = fig_tags[flat_bank]
+                                    tags._touch_counter += 1
+                                    tag_entry.last_touch = \
+                                        tags._touch_counter
+                                    if is_write:
+                                        tag_entry.dirty = True
+                                        row = fig_row_ids[flat_bank][
+                                            slot // segments_per_row]
+                                    elif not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = fig_row_ids[flat_bank][
+                                            slot // segments_per_row]
+                                    cache_hit = True
+                            else:
+                                src_row = decoded.row
+                                state = lisa_banks_get(flat_bank)
+                                tag_entry = None if state is None \
+                                    else state.entries.get(src_row)
+                                if tag_entry is None:
+                                    lisa_stats.cache_lookups += 1
+                                    row = src_row
+                                    cache_hit = False
+                                    insert_kind = 2
+                                else:
+                                    lisa_stats.cache_lookups += 1
+                                    lisa_stats.cache_hits += 1
+                                    if tag_entry.benefit \
+                                            < lisa_benefit_max:
+                                        tag_entry.benefit += 1
+                                    if is_write:
+                                        tag_entry.dirty = True
+                                        row = lisa_fast_base \
+                                            + tag_entry.cache_slot
+                                    elif not tag_entry.dirty \
+                                            and bank.open_row == src_row:
+                                        row = src_row
+                                    else:
+                                        row = lisa_fast_base \
+                                            + tag_entry.cache_slot
+                                    cache_hit = True
+                            rank = rank_of[flat_bank]
+                            if refresh_on \
+                                    and cycle >= rank.next_refresh_due:
+                                start = apply_refresh(cycle, flat_bank)
+                            else:
+                                start = cycle
+                            served_fast = all_fast or row >= regular_rows
+                            busy_until = bank._busy_until
+                            if busy_until > start:
+                                start = busy_until
+                            open_row = bank.open_row
+                            if open_row == row:
+                                outcome = "hit"
+                                counters.row_hits += 1
+                                col_cycle = bank._next_col_allowed
+                                if start > col_cycle:
+                                    col_cycle = start
+                            else:
+                                if open_row is None:
+                                    outcome = "miss"
+                                    counters.row_misses += 1
+                                    act_cycle = start
+                                    naa = bank._next_act_allowed
+                                    if act_cycle < naa:
+                                        act_cycle = naa
+                                else:
+                                    outcome = "conflict"
+                                    counters.row_conflicts += 1
+                                    pre_cycle = bank._next_pre_allowed
+                                    if start > pre_cycle:
+                                        pre_cycle = start
+                                    act_cycle = pre_cycle + (
+                                        trp_fast if all_fast
+                                        or open_row >= regular_rows
+                                        else trp_slow)
+                                    counters.precharges += 1
+                                rrd_earliest = rank._last_activate + trrd
+                                if rrd_earliest > act_cycle:
+                                    act_cycle = rrd_earliest
+                                recent = rank._recent_activates
+                                if len(recent) == 4:
+                                    faw_earliest = recent[0] + tfaw
+                                    if faw_earliest > act_cycle:
+                                        act_cycle = faw_earliest
+                                if act_bg_pacing:
+                                    bg_last = rank._bg_last_act
+                                    bg_index = bank._bg_index
+                                    bg_earliest = \
+                                        bg_last[bg_index] + trrd_l
+                                    if bg_earliest > act_cycle:
+                                        act_cycle = bg_earliest
+                                    bg_last[bg_index] = act_cycle
+                                rank._last_activate = act_cycle
+                                recent.append(act_cycle)
+                                counters.activates += 1
+                                if served_fast:
+                                    counters.fast_activates += 1
+                                if track_rows:
+                                    counters.record_row_activation(
+                                        bank._key, row)
+                                bank.open_row = row
+                                bank._last_act = act_cycle
+                                trcd, tras = act_table[served_fast]
+                                bank._next_pre_allowed = act_cycle + tras
+                                col_cycle = act_cycle + trcd
+                            if col_pacing:
+                                bg_index = bank._bg_index
+                                earliest_col = \
+                                    rank._bg_last_col[bg_index] + tccd_l
+                                cross = rank._last_col_cycle + tccd_s
+                                if cross > earliest_col:
+                                    earliest_col = cross
+                                if earliest_col > col_cycle:
+                                    col_cycle = earliest_col
+                            data_latency, tbl, tccd, t_a, t_b = \
+                                col_table[2 | served_fast] if is_write \
+                                else col_table[served_fast]
+                            burst_start = col_cycle + data_latency
+                            bus_free_at = channel._bus_free_at
+                            if burst_start < bus_free_at:
+                                burst_start = bus_free_at
+                                col_cycle = burst_start - data_latency
+                            completion = burst_start + tbl
+                            channel._bus_free_at = completion
+                            if is_write:
+                                counters.writes += 1
+                                if served_fast:
+                                    counters.fast_writes += 1
+                                next_col = col_cycle + tccd
+                                turnaround = completion + t_a  # tWTR
+                                if turnaround > next_col:
+                                    next_col = turnaround
+                                next_pre = completion + t_b    # tWR
+                            else:
+                                counters.reads += 1
+                                if served_fast:
+                                    counters.fast_reads += 1
+                                next_col = col_cycle + tccd
+                                next_pre = col_cycle + t_a     # tRTP
+                            ready_at = bank._next_col_allowed
+                            if next_col > ready_at:
+                                bank._next_col_allowed = ready_at = \
+                                    next_col
+                            if next_pre > bank._next_pre_allowed:
+                                bank._next_pre_allowed = next_pre
+                            if col_cycle > bank._busy_until:
+                                bank._busy_until = col_cycle
+                            if col_pacing:
+                                rank._last_col_cycle = col_cycle
+                                rank._bg_last_col[bg_index] = col_cycle
+                            request.in_dram_cache_hit = cache_hit
+                            request.row_buffer_outcome = outcome
+                            request.served_fast = served_fast
+                            if insert_kind:
+                                # Inline FIGCache.service /
+                                # LISAVillaMechanism.service miss tails
+                                # (KEEP IN SYNC with copy A).  The
+                                # relocation work may push the bank's
+                                # busy window past the access, so
+                                # re-read its readiness (inline
+                                # Bank.ready_for_next) for the wake
+                                # scheduled below.
+                                if insert_kind == 1:
+                                    bank_cache = fig_caches[flat_bank]
+                                    insertion = bank_cache.insertion
+                                    if (bank_cache.excluded_subarray
+                                            < 0
+                                            or fig_may_cache(
+                                                bank_cache, src_row)) \
+                                            and (insertion
+                                                 .always_inserts
+                                                 or insertion
+                                                 .should_insert(
+                                                     src_row,
+                                                     segment)):
+                                        fig_insert(
+                                            channel, completion,
+                                            flat_bank, bank_cache,
+                                            src_row, segment,
+                                            dirty=is_write)
+                                        busy = bank._busy_until
+                                        nca = bank._next_col_allowed
+                                        ready_at = busy \
+                                            if busy > nca else nca
+                                else:
+                                    if state is None:
+                                        state = lisa_bank_state(
+                                            flat_bank)
+                                    lisa_insert(channel, completion,
+                                                flat_bank, state,
+                                                src_row,
+                                                dirty=is_write)
+                                    busy = bank._busy_until
+                                    nca = bank._next_col_allowed
+                                    ready_at = busy \
+                                        if busy > nca else nca
+                            request.issue_cycle = cycle
+                            request.completion_cycle = completion
+                            latency = completion - request.arrival_cycle
+                            if is_write:
+                                cc.completed_writes += 1
+                                write_latencies[latency] = \
+                                    write_latencies.get(latency, 0) + 1
+                            else:
+                                cc.completed_reads += 1
+                                read_latencies[latency] = \
+                                    read_latencies.get(latency, 0) + 1
+                            completed_append(request)
+
+            if completed:
+                # Inline completion delivery (see Simulator._run) plus
+                # request pooling: reads are recycled right after their
+                # notify, writes immediately — nothing retains them.
+                # The notify itself is TraceCore.notify_completion
+                # inlined (KEEP IN SYNC): clear the block's outstanding
+                # misses and MSHR, charge the stall, advance the clock,
+                # and reschedule the core if it can now make progress.
+                for request in completed:
+                    if not request.is_write:
+                        core = cores[request.core_id]
+                        completion_cycle = request.completion_cycle
+                        address = request.address
+                        block_mask = core._block_mask
+                        block = address & block_mask
+                        outstanding = core._outstanding
+                        kept = [miss for miss in outstanding
+                                if (miss.address & block_mask) != block]
+                        if len(kept) != len(outstanding):
+                            mshr_entries = core._mshr_entries
+                            mshr_capacity = core._mshr_capacity
+                            window_size = core._window_size
+                            issued = core._issued_instructions
+                            oldest = outstanding[0]
+                            stalled_before = \
+                                len(mshr_entries) >= mshr_capacity \
+                                or (oldest.blocks_window
+                                    and (issued
+                                         - oldest.instruction_position)
+                                    >= window_size)
+                            # In-place so aliases stay valid; the MSHR
+                            # entry must exist (outstanding miss =>
+                            # live MSHR).
+                            outstanding[:] = kept
+                            del mshr_entries[address >> core._mshr_shift]
+                            if kept:
+                                oldest = kept[0]
+                                can_progress = not (
+                                    oldest.blocks_window
+                                    and (issued
+                                         - oldest.instruction_position)
+                                    >= window_size)
+                            else:
+                                can_progress = True
+                            if can_progress \
+                                    and completion_cycle \
+                                    > core._core_cycle:
+                                stall = completion_cycle \
+                                    - core._core_cycle
+                                if stalled_before \
+                                        and len(mshr_entries) + 1 \
+                                        >= mshr_capacity:
+                                    core.stats.stall_cycles_mshr += stall
+                                else:
+                                    core.stats.stall_cycles_window += \
+                                        stall
+                                core._core_cycle = completion_cycle
+                            if not kept and core._next_record \
+                                    >= core._trace_length:
+                                # Inline _retire.
+                                core._finished = True
+                                core.stats.finish_cycle = \
+                                    core._core_cycle
+                            if can_progress and not core._finished:
+                                event = (completion_cycle, seq,
+                                         _CORE_RUN, core)
+                                seq += 1
+                                bucket_key = \
+                                    completion_cycle >> _BUCKET_SHIFT
+                                if bucket_key == cur_key:
+                                    insort(cur_list, event, cur_ptr)
+                                    cur_len += 1
+                                else:
+                                    bucket = buckets_get(bucket_key)
+                                    if bucket is None:
+                                        buckets[bucket_key] = [event]
+                                    else:
+                                        bucket.append(event)
+                    freelist_append(request)
+
+            # Trailing wake scheduling (skipped after CORE_RUN, exactly
+            # like the reference loop's `continue`).  Scanning only when
+            # this event pushed a wake note or cleared the latch is
+            # bit-identical: otherwise the earliest pending wake is
+            # already covered by ``scheduled_wake``, so the reference
+            # scan would push nothing either.
+            if not wake_pushed and kind != _CONTROLLER_WAKE:
+                continue
+            wake_at = None
+            for wakeup_heap, wakeup_get in wake_scan:
+                while wakeup_heap:
+                    head = wakeup_heap[0]
+                    if wakeup_get(head[1]) == head[0]:
+                        if wake_at is None or head[0] < wake_at:
+                            wake_at = head[0]
+                        break
+                    heappop(wakeup_heap)
+            if wake_at is not None:
+                if wake_at < cycle:
+                    wake_at = cycle
+                if scheduled_wake is None or scheduled_wake > wake_at:
+                    scheduled_wake = wake_at
+                    event = (wake_at, seq, _CONTROLLER_WAKE, None)
+                    seq += 1
+                    bucket_key = wake_at >> _BUCKET_SHIFT
+                    if bucket_key == cur_key:
+                        insort(cur_list, event, cur_ptr)
+                        cur_len += 1
+                    else:
+                        bucket = buckets_get(bucket_key)
+                        if bucket is None:
+                            buckets[bucket_key] = [event]
+                        else:
+                            bucket.append(event)
+
+        if __debug__:
+            for (wakeup_heap, wakeup_cycle_map), cc in zip(wakeup_views,
+                                                           ccs):
+                current_heap, current_live = cc.wakeup_view()
+                assert wakeup_heap is current_heap \
+                    and wakeup_cycle_map is current_live, (
+                        "ChannelController rebound its wake-up "
+                        "structures mid-run; the hoisted snapshot went "
+                        "stale (see ChannelController.wakeup_view)")
+        return self._finish(cycle, processed)
+
+    # ------------------------------------------------------------------
+    # Generic multi-channel loop: the reference heap engine plus request
+    # pooling.  Serves as the traced-run path and the fallback for any
+    # controller shape the fused multi-channel loop does not replicate.
+    # ------------------------------------------------------------------
+    def _run_multi_generic(self) -> int:
         cores = self._cores
         controller = self._controller
         channel_controllers = controller.channel_controllers
@@ -1844,7 +3420,7 @@ class TurboSimulator:
         # go through _step_core, which does one loop iteration per
         # memory-touching record instead of per trace record.
         step_core = _step_core
-        core_plans = {core.core_id: _compile_core_plan(core)
+        core_plans = {core.core_id: _plan_for_core(core)
                       for core in cores}
 
         # Ascending (cycle, seq) appends form a valid heap as-is.

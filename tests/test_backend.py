@@ -152,6 +152,36 @@ class TestTracingParity:
         traced, _ = self._traced("FIGCache-Fast", "mcf", backend)
         assert traced == baseline
 
+    def test_multicore_backends_emit_identical_event_streams(self):
+        """A tracer makes the fused multi-core loop (PR 9) detour too.
+
+        The detour lands in the reference-compatible generic loop, so a
+        traced multi-core turbo run must match the python backend in both
+        results and the recorded command stream — same guarantee the
+        single-core cases above pin, on the N-channel × M-core path.
+        """
+        from repro.sim.tracing import EventTracer
+        scale = ExperimentScale.smoke()
+        suite = {w.name: w for w in make_workload_suite(
+            num_cores=scale.num_cores,
+            mixes_per_category=scale.mixes_per_category)}
+        mix = suite["mix-50pct-0"]
+        runs = {}
+        for backend in ("python", "turbo"):
+            config = make_system_config("FIGCache-Fast",
+                                        channels=scale.multicore_channels,
+                                        backend=backend)
+            traces = mix.make_traces(scale.multicore_records)
+            tracer = EventTracer()
+            result = run_workload(config, traces, mix.name, tracer=tracer)
+            runs[backend] = (result.to_dict(), tracer)
+        turbo_result, turbo_tracer = runs["turbo"]
+        reference, ref_tracer = runs["python"]
+        assert turbo_result == reference
+        assert self._normalized(turbo_tracer.events) == \
+            self._normalized(ref_tracer.events)
+        assert turbo_tracer.total_events == ref_tracer.total_events
+
 
 class TestBackendSelection:
     """Name → env var → default precedence, with loud failures."""
