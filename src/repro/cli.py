@@ -70,6 +70,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "'none' disables persistence)")
     parser.add_argument("--scale", choices=sorted(SCALES), default="paper",
                         help="experiment scale (default: paper)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="retry failed jobs, then skip them instead "
+                             "of aborting the batch (failure policy "
+                             "retry_then_skip); the run still exits "
+                             "nonzero if anything was skipped")
 
 
 def _configure_engine(args) -> "engine.JobExecutor":
@@ -79,7 +84,25 @@ def _configure_engine(args) -> "engine.JobExecutor":
         cache_dir = args.cache_dir
     else:
         cache_dir = str(default_cache_dir())
-    return engine.configure(jobs=args.jobs, cache_dir=cache_dir)
+    policy = "retry_then_skip" if getattr(args, "keep_going", False) \
+        else None
+    return engine.configure(jobs=args.jobs, cache_dir=cache_dir,
+                            failure_policy=policy)
+
+
+def _finish_batch(executor) -> int:
+    """Exit code for a batch that ran to completion.
+
+    Under ``--keep-going`` a batch can finish with skipped jobs; the
+    summary goes to stderr and the exit code turns nonzero so scripts
+    notice, even though the (partial) table printed fine.
+    """
+    report = executor.last_report
+    if report is None or not report.failures:
+        return 0
+    print(f"error: batch finished with failures: {report.summary()}",
+          file=sys.stderr)
+    return 1
 
 
 def _add_progress_arguments(parser: argparse.ArgumentParser) -> None:
@@ -127,7 +150,7 @@ def _cmd_run_figure(args) -> int:
             sink.close()
             executor.progress = None
     _report(data, executor, time.perf_counter() - start)
-    return 0
+    return _finish_batch(executor)
 
 
 def _cmd_run_static(args) -> int:
@@ -173,14 +196,22 @@ def _cmd_sweep(args) -> int:
 
     table_rows = []
     for blocks, rows in points:
+        # Under --keep-going a skipped job leaves a hole in ``results``;
+        # the sweep point it belonged to reports "n/a" instead of a
+        # number computed from a partial suite.
         speedups = []
         for workload in suite:
-            base = results[jobs[("Base", workload.name)]]
-            other = results[jobs[((blocks, rows), workload.name)]]
+            base = results.get(jobs[("Base", workload.name)])
+            other = results.get(jobs[((blocks, rows), workload.name)])
+            if base is None or other is None:
+                speedups = None
+                break
             speedups.append(other.ipc_sum / base.ipc_sum)
         size = blocks * 64
         label = f"{size}B" if size < 1024 else f"{size // 1024}kB"
-        table_rows.append([label, rows, geometric_mean(speedups)])
+        table_rows.append([label, rows,
+                           geometric_mean(speedups)
+                           if speedups else None])
     data = {
         "figure": "Design-space sweep",
         "metric": "FIGCache-Fast weighted speedup over Base "
@@ -195,7 +226,7 @@ def _cmd_sweep(args) -> int:
         path = write_metrics(args.metrics_out,
                              metrics_snapshot(executor=executor))
         print(f"metrics written to {path}")
-    return 0
+    return _finish_batch(executor)
 
 
 #: Sentinel for an omitted ``--profile`` flag: ``--profile`` without an
@@ -367,6 +398,22 @@ def _cmd_cache(args) -> int:
     if args.cache_command == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached result(s) from {cache.directory}")
+    elif args.cache_command == "verify":
+        report = cache.verify(repair=args.repair)
+        print(f"cache directory : {cache.directory}")
+        print(f"entries checked : {report['checked']}")
+        print(f"ok              : {report['ok']}")
+        print(f"legacy (no sum) : {report['legacy']}")
+        print(f"stale salt      : {report['stale_salt']}")
+        print(f"corrupt         : {len(report['corrupt'])}")
+        for key in report["corrupt"]:
+            print(f"  corrupt: {key}")
+        if args.repair:
+            print(f"quarantined     : {report['quarantined']}")
+        elif report["corrupt"]:
+            print("re-run with --repair to move corrupt entries to "
+                  "quarantine/")
+        return 1 if report["corrupt"] else 0
     else:
         # Same numbers the ``metrics`` endpoint exports: both route
         # through the metrics snapshot, so human and scraped views agree.
@@ -379,6 +426,8 @@ def _cmd_cache(args) -> int:
         print(f"shards          : {section['shards']}")
         print(f"gzip entries    : {section['disk_compressed']}")
         print(f"legacy entries  : {section['disk_legacy']}")
+        print(f"decode failures : {section['decode_failures']}")
+        print(f"quarantined     : {section['quarantine_entries']}")
         print(f"salt            : {engine.cache_salt()}")
     return 0
 
@@ -596,8 +645,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.set_defaults(func=_cmd_metrics)
 
     cache = sub.add_parser("cache", help="persistent result cache tools")
-    cache.add_argument("cache_command", choices=("stats", "clear"))
+    cache.add_argument("cache_command", choices=("stats", "clear", "verify"))
     cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache.add_argument("--repair", action="store_true",
+                       help="with 'verify': move corrupt entries into "
+                            "<cache>/quarantine/ instead of just "
+                            "reporting them")
     cache.set_defaults(func=_cmd_cache)
 
     listing = sub.add_parser("list", help="list runnable experiments")
@@ -610,6 +663,23 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except engine.JobExecutionError as error:
+        # The full per-job tracebacks live in the exception (and in a
+        # --progress-file when one was given); the console gets one
+        # actionable line, not a wall of worker traceback.
+        report = error.report
+        if report is not None and report.failures:
+            summary = report.summary()
+            first = report.failures[0]
+            print(f"error: batch failed ({summary}); first failure: "
+                  f"{first.one_line()}", file=sys.stderr)
+        else:
+            first_line = str(error).splitlines()[0] if str(error) else ""
+            print(f"error: batch failed: {first_line}", file=sys.stderr)
+        print("hint: --keep-going retries and then skips poisoned jobs; "
+              "--progress-file FILE captures per-job events",
+              file=sys.stderr)
+        return 1
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

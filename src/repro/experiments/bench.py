@@ -799,6 +799,18 @@ def run_sweep_bench(scale: ExperimentScale | None = None,
                         (wall - executor.sim_cpu_s) / len(matrix),
                     "simulations": executor.simulations_executed,
                     "results_identical": identical,
+                    # Reliability counters (getattr: the PR-1 replica
+                    # predates them).  All zero in a healthy perf run —
+                    # nonzero means the numbers absorbed retry/respawn
+                    # time and silent corruption can't hide in a report.
+                    "retries": getattr(executor, "retries", 0),
+                    "chunk_timeouts":
+                        getattr(executor, "chunk_timeouts", 0),
+                    "pool_respawns":
+                        getattr(executor, "pool_respawns", 0),
+                    "cache_decode_failures":
+                        cache.stats().decode_failures,
+                    "cache_quarantined": cache.stats().quarantined,
                 }
                 if best is None or wall < best["wall_s"]:
                     best = measurement

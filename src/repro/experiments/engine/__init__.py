@@ -26,10 +26,17 @@ import os
 
 from repro.experiments.engine.cache import (CACHE_DIR_ENV,
                                             COMPRESS_MIN_BYTES, CacheStats,
-                                            ResultCache, cache_salt,
-                                            default_cache_dir)
-from repro.experiments.engine.executor import (JOBS_ENV, JobExecutionError,
-                                               JobExecutor, resolve_jobs)
+                                            CorruptEntryError, ResultCache,
+                                            cache_salt, default_cache_dir)
+from repro.experiments.engine.executor import (FAILURE_POLICIES, JOBS_ENV,
+                                               BatchReport, JobExecutionError,
+                                               JobExecutor, JobFailure,
+                                               RetryPolicy, WatchdogPolicy,
+                                               resolve_failure_policy,
+                                               resolve_jobs)
+from repro.experiments.engine.faults import (FAULT_PLAN_ENV, FaultPlan,
+                                             FaultSpec, InjectedFault,
+                                             install_plan)
 from repro.experiments.engine.progress import (PROGRESS_SCHEMA_VERSION,
                                                CallbackSink, JsonlFileSink,
                                                ProgressEvent, ProgressSink,
@@ -38,28 +45,40 @@ from repro.experiments.engine.spec import (CACHE_SCHEMA_VERSION,
                                            ExperimentScale, SimJob)
 
 __all__ = [
+    "BatchReport",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "COMPRESS_MIN_BYTES",
     "CacheStats",
     "CallbackSink",
+    "CorruptEntryError",
     "ExperimentScale",
+    "FAILURE_POLICIES",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "JOBS_ENV",
     "JobExecutionError",
     "JobExecutor",
+    "JobFailure",
     "JsonlFileSink",
     "PROGRESS_SCHEMA_VERSION",
     "ProgressEvent",
     "ProgressSink",
     "ResultCache",
+    "RetryPolicy",
     "SimJob",
     "StderrLineSink",
     "TeeSink",
+    "WatchdogPolicy",
     "cache_salt",
     "configure",
     "default_cache_dir",
     "get_executor",
+    "install_plan",
     "reset",
+    "resolve_failure_policy",
     "resolve_jobs",
 ]
 
@@ -82,17 +101,23 @@ def get_executor() -> JobExecutor:
 
 
 def configure(jobs: int | None = None, cache_dir: str | None = None,
-              compress: bool | str = "auto") -> JobExecutor:
+              compress: bool | str = "auto",
+              failure_policy: str | None = None,
+              retry: RetryPolicy | None = None,
+              watchdog: WatchdogPolicy | None = None) -> JobExecutor:
     """Replace the default executor (e.g. to apply CLI flags).
 
     The previous default's warm worker pool — if one was ever spun up —
     is shut down so reconfiguring never leaks worker processes.
+    ``failure_policy``/``retry``/``watchdog`` set the reliability layer
+    (``--keep-going`` maps to ``failure_policy="retry_then_skip"``).
     """
     global _default_executor
     if _default_executor is not None:
         _default_executor.close()
     _default_executor = JobExecutor(
-        cache=ResultCache(cache_dir, compress=compress), jobs=jobs)
+        cache=ResultCache(cache_dir, compress=compress), jobs=jobs,
+        failure_policy=failure_policy, retry=retry, watchdog=watchdog)
     return _default_executor
 
 

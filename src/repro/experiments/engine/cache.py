@@ -17,6 +17,19 @@ Each file records the salt (cache schema version + package version) it was
 written with; entries whose salt no longer matches are treated as misses,
 so a code upgrade invalidates stale results instead of replaying them.
 
+Integrity: fresh entries carry a checksum envelope — the byte length and
+SHA-256 of the canonical result JSON — verified on every load.  An entry
+that fails to decode or checksum is *corrupt* (torn write, bit rot), not
+merely stale: the file is moved into ``<cache>/quarantine/`` (preserving
+the evidence while getting it off the lookup path), counters
+(``decode_failures``/``quarantined``) tick in :meth:`ResultCache.stats`,
+and the caller sees a plain miss, so the job simply re-executes.
+Envelope-less entries written before this scheme remain readable —
+the envelope is versioned inside the payload precisely so its
+introduction did not salt-invalidate every existing shard.
+:meth:`ResultCache.verify` (CLI: ``python -m repro cache verify``) scans
+every shard offline and optionally quarantines what it finds.
+
 A :class:`ResultCache` always keeps an in-memory layer.  When constructed
 without a directory it is memory-only (the behaviour the test suite wants);
 with a directory it also persists every stored result, making repeated
@@ -26,13 +39,16 @@ figure runs incremental across processes.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
 import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
 import repro
+from repro.experiments.engine import faults as faults_mod
 from repro.experiments.engine.spec import CACHE_SCHEMA_VERSION
 from repro.sim.metrics import SimulationResult
 
@@ -46,6 +62,21 @@ COMPRESS_MIN_BYTES = 32 * 1024
 
 #: Hex characters of the key used as the shard directory name.
 _SHARD_CHARS = 2
+
+#: Version of the checksum envelope written into fresh entries.  Lives
+#: inside the payload — deliberately *not* part of the cache salt, so
+#: introducing (or evolving) the envelope never invalidates old entries.
+ENVELOPE_VERSION = 1
+
+#: Directory (under the cache root) corrupt shard files are moved into.
+#: Longer than ``_SHARD_CHARS``, so the index scan never looks inside.
+QUARANTINE_DIR = "quarantine"
+
+
+def _canonical_result_bytes(result_dict: dict) -> bytes:
+    """The canonical byte form of a result dict the envelope covers."""
+    return json.dumps(result_dict, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
 
 
 def cache_salt() -> str:
@@ -81,6 +112,16 @@ class CacheStats:
     disk_compressed: int = 0
     #: Disk entries still in the pre-sharding flat layout.
     disk_legacy: int = 0
+    #: Loads that failed to decode or checksum (corrupt entries seen).
+    decode_failures: int = 0
+    #: Corrupt files this cache moved into the quarantine directory.
+    quarantined: int = 0
+    #: Files currently sitting in ``<cache>/quarantine/``.
+    quarantine_entries: int = 0
+
+
+class CorruptEntryError(Exception):
+    """A cache entry is damaged (torn write, bit rot) rather than stale."""
 
 
 def _is_entry(name: str) -> bool:
@@ -109,6 +150,8 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        self._decode_failures = 0
+        self._quarantined = 0
 
     @property
     def persistent(self) -> bool:
@@ -200,14 +243,24 @@ class ResultCache:
             self.put(key, result)
 
     def _persist(self, key: str, result: SimulationResult) -> None:
+        result_dict = result.to_dict()
+        canonical = _canonical_result_bytes(result_dict)
         payload = {"salt": cache_salt(), "key": key,
-                   "result": result.to_dict()}
+                   "envelope": ENVELOPE_VERSION,
+                   "length": len(canonical),
+                   "sha256": hashlib.sha256(canonical).hexdigest(),
+                   "result": result_dict}
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
         compressed = (self.compress is True
                       or (self.compress == "auto"
                           and len(data) >= COMPRESS_MIN_BYTES))
         if compressed:
             data = gzip.compress(data, compresslevel=6)
+        plan = faults_mod.active_plan()
+        if plan:
+            spec = plan.cache_fault(key, faults_mod.next_cache_write())
+            if spec is not None:
+                data = faults_mod.corrupt_payload(spec, data)
         path = self._path(key, compressed=compressed)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
@@ -221,23 +274,81 @@ class ResultCache:
             old[0].unlink(missing_ok=True)
         index[key] = (path, len(data))
 
+    def _read_payload(self, path: Path) -> dict:
+        """Read, decode, and checksum-verify one entry file.
+
+        Raises :class:`CorruptEntryError` for anything that is provably
+        damage rather than staleness: undecodable bytes (torn write), a
+        non-dict payload, or an envelope whose length/SHA-256 no longer
+        matches the result (bit rot).  ``OSError`` propagates — an
+        unreadable file is a miss, not corruption.
+        """
+        data = path.read_bytes()
+        try:
+            if path.name.endswith(".gz"):
+                data = gzip.decompress(data)
+            payload = json.loads(data)
+        except (json.JSONDecodeError, gzip.BadGzipFile, EOFError,
+                UnicodeDecodeError, zlib.error) as exc:
+            raise CorruptEntryError(f"undecodable entry: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CorruptEntryError("entry payload is not an object")
+        if payload.get("envelope") is not None:
+            try:
+                canonical = _canonical_result_bytes(payload["result"])
+            except (KeyError, TypeError) as exc:
+                raise CorruptEntryError(
+                    f"enveloped entry has no result: {exc!r}") from exc
+            if (payload.get("length") != len(canonical)
+                    or payload.get("sha256")
+                    != hashlib.sha256(canonical).hexdigest()):
+                raise CorruptEntryError("checksum mismatch")
+        return payload
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a corrupt entry into ``<cache>/quarantine/`` and drop it
+        from the index (preserving the evidence, clearing the lookup
+        path).  Best-effort: an unwritable filesystem leaves the file in
+        place, and lookups keep treating it as a miss."""
+        quarantine = self.directory / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            dest = quarantine / path.name
+            serial = 0
+            while dest.exists():
+                serial += 1
+                dest = quarantine / f"{path.name}.{serial}"
+            path.replace(dest)
+        except FileNotFoundError:
+            pass  # the corrupt file vanished; nothing left to preserve
+        except OSError:
+            return
+        self._quarantined += 1
+        self.index().pop(key, None)
+
     def _load(self, key: str) -> SimulationResult | None:
         entry = self.index().get(key)
         if entry is None:
             return None
         path, _ = entry
         try:
-            data = path.read_bytes()
-            if path.name.endswith(".gz"):
-                data = gzip.decompress(data)
-            payload = json.loads(data)
-        except (OSError, json.JSONDecodeError, gzip.BadGzipFile):
+            payload = self._read_payload(path)
+        except OSError:
+            return None
+        except CorruptEntryError:
+            self._decode_failures += 1
+            self._quarantine(key, path)
             return None
         if payload.get("salt") != cache_salt():
+            # Stale, not damaged: a plain miss (the entry is re-stored
+            # with the current salt the next time the job runs).
             return None
         try:
             return SimulationResult.from_dict(payload["result"])
         except (KeyError, TypeError):
+            # Current salt but unreconstructable: structural damage.
+            self._decode_failures += 1
+            self._quarantine(key, path)
             return None
 
     # ------------------------------------------------------------------
@@ -274,15 +385,66 @@ class ResultCache:
             self._index = {}
         return len(keys)
 
+    def verify(self, repair: bool = False) -> dict:
+        """Scan every disk entry; classify, and optionally quarantine.
+
+        Returns a report dict: ``checked`` (entries examined), ``ok``
+        (enveloped and checksum-clean), ``legacy`` (readable but written
+        before the checksum envelope), ``stale_salt`` (readable but from
+        another schema/code version), ``corrupt`` (list of damaged keys),
+        and ``quarantined`` (files moved — nonzero only with
+        ``repair=True``; without it corrupt files are left in place so a
+        dry run stays side-effect free).
+        """
+        report: dict = {"checked": 0, "ok": 0, "legacy": 0,
+                        "stale_salt": 0, "corrupt": [], "quarantined": 0}
+        if not self.persistent:
+            return report
+        self.refresh_index()
+        for key, (path, _) in sorted(self.index().items()):
+            report["checked"] += 1
+            try:
+                payload = self._read_payload(path)
+            except OSError:
+                continue  # vanished mid-scan (another process cleaning)
+            except CorruptEntryError:
+                report["corrupt"].append(key)
+                if repair:
+                    self._decode_failures += 1
+                    self._quarantine(key, path)
+                    report["quarantined"] += 1
+                continue
+            if payload.get("salt") != cache_salt():
+                report["stale_salt"] += 1
+                continue
+            try:
+                SimulationResult.from_dict(payload["result"])
+            except (KeyError, TypeError):
+                report["corrupt"].append(key)
+                if repair:
+                    self._decode_failures += 1
+                    self._quarantine(key, path)
+                    report["quarantined"] += 1
+                continue
+            if payload.get("envelope") is None:
+                report["legacy"] += 1
+            else:
+                report["ok"] += 1
+        return report
+
     def stats(self) -> CacheStats:
         """Traffic counters plus current memory/disk occupancy.
 
         Disk occupancy comes from the in-memory index — no filesystem
-        traffic after the initial scan.
+        traffic after the initial scan (quarantine occupancy is the one
+        exception: corrupt files can arrive from other processes, so it
+        is counted live).
         """
         stats = CacheStats(hits=self._hits, misses=self._misses,
                            stores=self._stores,
-                           memory_entries=len(self._memory))
+                           memory_entries=len(self._memory),
+                           decode_failures=self._decode_failures,
+                           quarantined=self._quarantined)
         if self.persistent:
             for key, (path, size) in self.index().items():
                 stats.disk_entries += 1
@@ -291,4 +453,9 @@ class ResultCache:
                     stats.disk_compressed += 1
                 if path.parent == self.directory:
                     stats.disk_legacy += 1
+            quarantine = self.directory / QUARANTINE_DIR
+            if quarantine.is_dir():
+                stats.quarantine_entries = sum(
+                    1 for entry in quarantine.iterdir()
+                    if entry.is_file())
         return stats

@@ -26,13 +26,23 @@ Event kinds (the ``kind`` field of every :class:`ProgressEvent`):
     Work finished and its results were written to the cache: a whole
     chunk (parallel, carries ``worker_pid``) or one job (serial path).
 ``job-failed``
-    A job raised; ``error`` carries the exception repr and ``job`` the
-    failing job's description.  Emitted *before* the executor raises
-    :class:`JobExecutionError`, so sinks always see the failure.
-``pool-spawned`` / ``pool-broken``
-    Worker-pool lifecycle: a fresh pool came up (``workers`` count), or
-    the pool died underneath a batch (a worker was killed) and will be
-    respawned on the next parallel batch.
+    A job raised and exhausted its attempts; ``error`` carries the
+    exception repr and ``job`` the failing job's description.  Emitted
+    *before* the executor raises :class:`JobExecutionError`, so sinks
+    always see the failure.
+``job-retried``
+    A job failed and is being retried under a retry failure policy;
+    ``attempt`` is the upcoming attempt number (2 for the first retry).
+``job-skipped``
+    A job exhausted its attempts under ``retry_then_skip`` and is being
+    dropped from the batch's results.
+``chunk-timeout``
+    The hung-worker watchdog timed a chunk out; its jobs are being
+    resubmitted to a fresh pool (``chunk_size`` jobs affected).
+``pool-spawned`` / ``pool-broken`` / ``pool-respawned``
+    Worker-pool lifecycle: a fresh pool came up (``workers`` count), the
+    pool died underneath a batch (a worker was killed), or a replacement
+    pool was spun up mid-batch to carry on after a death/timeout.
 ``batch-end``
     The batch finished; ``done`` equals ``pending`` unless it failed.
 
@@ -81,10 +91,12 @@ class ProgressEvent:
     chunk_size: int | None = None
     #: PID of the worker that produced a completed chunk.
     worker_pid: int | None = None
-    #: Exception repr for ``job-failed`` events.
+    #: Exception repr for ``job-failed``/``job-retried``/``job-skipped``.
     error: str | None = None
     #: Description of the job a failure event refers to.
     job: str | None = None
+    #: Upcoming attempt number for ``job-retried`` events.
+    attempt: int | None = None
 
     def to_dict(self) -> dict:
         """The event as a JSON-ready dict, ``None`` fields dropped."""
@@ -129,10 +141,19 @@ class StderrLineSink(ProgressSink):
             parts.append(f"eta {event.eta_s:.0f}s")
         if event.kind == "job-failed":
             parts.append(f"FAILED: {event.error}")
+        elif event.kind == "job-retried":
+            parts.append(f"retry #{event.attempt}: {event.error}")
+        elif event.kind == "job-skipped":
+            parts.append(f"SKIPPED: {event.error}")
+        elif event.kind == "chunk-timeout":
+            parts.append(f"watchdog: chunk of {event.chunk_size} timed out")
         elif event.kind == "pool-broken":
             parts.append("worker pool broken; respawning")
+        elif event.kind == "pool-respawned":
+            parts.append("worker pool respawned")
         line = " | ".join(parts)
         end = "\n" if event.kind in ("batch-end", "job-failed",
+                                     "job-skipped", "chunk-timeout",
                                      "pool-broken") else ""
         try:
             self._stream.write(f"\r{line:<78}{end}")
@@ -250,11 +271,25 @@ class BatchProgress:
     def job_failed(self, error: str, job_description: str) -> None:
         self._emit("job-failed", error=error, job=job_description)
 
+    def job_retried(self, error: str, job_description: str,
+                    attempt: int) -> None:
+        self._emit("job-retried", error=error, job=job_description,
+                   attempt=attempt)
+
+    def job_skipped(self, error: str, job_description: str) -> None:
+        self._emit("job-skipped", error=error, job=job_description)
+
+    def chunk_timeout(self, size: int) -> None:
+        self._emit("chunk-timeout", chunk_size=size)
+
     def pool_spawned(self) -> None:
         self._emit("pool-spawned")
 
     def pool_broken(self) -> None:
         self._emit("pool-broken")
+
+    def pool_respawned(self) -> None:
+        self._emit("pool-respawned")
 
     def batch_end(self) -> None:
         self._emit("batch-end")

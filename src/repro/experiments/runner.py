@@ -121,7 +121,11 @@ def format_table(title: str, columns: list[str],
     widths = [len(str(column)) for column in columns]
     rendered_rows = []
     for row in rows:
-        rendered = [f"{value:.3f}" if isinstance(value, float) else str(value)
+        # ``None`` marks a cell whose jobs were skipped (--keep-going
+        # after exhausted retries): render a placeholder, not "None".
+        rendered = ["n/a" if value is None
+                    else f"{value:.3f}" if isinstance(value, float)
+                    else str(value)
                     for value in row]
         rendered_rows.append(rendered)
         widths = [max(width, len(cell))

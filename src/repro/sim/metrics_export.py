@@ -61,18 +61,30 @@ def cache_metrics(cache) -> dict:
         "disk_bytes": stats.disk_bytes,
         "disk_compressed": stats.disk_compressed,
         "disk_legacy": stats.disk_legacy,
+        "decode_failures": stats.decode_failures,
+        "quarantined": stats.quarantined,
+        "quarantine_entries": stats.quarantine_entries,
         "shards": shards,
     }
 
 
 def executor_metrics(executor) -> dict:
-    """Lifetime counters of one :class:`JobExecutor`."""
+    """Lifetime counters of one :class:`JobExecutor`.
+
+    Reliability counters are read with ``getattr`` defaults so executor
+    replicas (the bench's PR-1 baseline) without them still export.
+    """
     return {
         "workers": executor.jobs,
         "simulations_executed": executor.simulations_executed,
         "cache_hits": executor.cache_hits,
         "sim_cpu_s": executor.sim_cpu_s,
         "pool_active": executor.pool_active,
+        "retries": getattr(executor, "retries", 0),
+        "jobs_skipped": getattr(executor, "jobs_skipped", 0),
+        "jobs_failed": getattr(executor, "jobs_failed", 0),
+        "chunk_timeouts": getattr(executor, "chunk_timeouts", 0),
+        "pool_respawns": getattr(executor, "pool_respawns", 0),
     }
 
 
